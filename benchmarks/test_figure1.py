@@ -1,0 +1,19 @@
+"""Figure 1 benchmark: stall-time decomposition of the SPEC suite."""
+
+from conftest import run_once
+
+from repro.experiments import figure1
+
+
+def test_figure1(benchmark, profile):
+    result = run_once(benchmark, figure1.run, profile)
+    print("\n" + figure1.render(result))
+    # Paper: 57% of time in L2 misses, 12% in L1 misses, 31% compute.
+    # (Small-subset profiles skew toward the stall-heavy benchmarks, so
+    # the bound is generous; the quick/full profiles land near 70/5/25.)
+    assert 0.3 < result.mean_l2_stall_fraction < 0.96
+    assert result.mean_compute_fraction < 0.6
+    # mcf-class benchmarks must sit at the stall-heavy end.
+    by_name = {r.benchmark: r for r in result.rows}
+    if "mcf" in by_name and "eon" in by_name:
+        assert by_name["mcf"].l2_stall_fraction > by_name["eon"].l2_stall_fraction

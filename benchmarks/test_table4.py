@@ -1,0 +1,19 @@
+"""Table 4 benchmark: prefetch scheme comparison."""
+
+from conftest import run_once
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, profile):
+    result = run_once(benchmark, table4.run, profile)
+    print("\n" + table4.render(result))
+    # Paper shape: unscheduled prefetching reaches the lowest miss rate
+    # but catastrophic latency; scheduling keeps most of the miss-rate
+    # win at almost no latency cost; LIFO edges out FIFO.
+    assert result.miss_rate["fifo_prefetch"] < result.miss_rate["base"]
+    assert result.miss_rate["scheduled_lifo"] < result.miss_rate["base"]
+    assert result.miss_latency["fifo_prefetch"] > 3 * result.miss_latency["base"]
+    assert result.miss_latency["scheduled_lifo"] < 1.5 * result.miss_latency["base"]
+    assert result.normalized_ipc["fifo_prefetch"] < 1.0
+    assert result.normalized_ipc["scheduled_lifo"] >= result.normalized_ipc["base"] * 0.999

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Block size vs. channel width study (Sections 3.2-3.3).
+
+For a handful of benchmarks, sweeps the L2 block size on narrow and
+wide Rambus configurations and prints where the performance point
+(best IPC) and pollution point (lowest miss rate) fall — illustrating
+the paper's core observation that spatial locality is plentiful but
+only wide channels can afford large blocks.
+
+Run:  python examples/block_size_study.py
+"""
+
+from repro import System, presets
+from repro.workloads import build_trace
+from repro.workloads.registry import build_warmup_trace
+
+BENCHMARKS = ("swim", "twolf", "gap")
+BLOCKS = (64, 128, 256, 512, 1024, 2048)
+CHANNELS = (4, 32)
+MEMORY_REFS = 8_000
+
+
+def main():
+    for benchmark in BENCHMARKS:
+        warmup = build_warmup_trace(benchmark)
+        trace = build_trace(benchmark, MEMORY_REFS)
+        print(f"\n=== {benchmark} ===")
+        print(f"{'config':>10s}  " + "  ".join(f"{b:>5d}B" for b in BLOCKS) +
+              "   perf-pt  pollution-pt")
+        for channels in CHANNELS:
+            ipcs = {}
+            rates = {}
+            for block in BLOCKS:
+                config = presets.base_4ch_64b().with_channels(channels).with_block_size(block)
+                system = System(config)
+                system.warmup(warmup)
+                stats = system.run(trace)
+                ipcs[block] = stats.ipc
+                rates[block] = stats.l2_miss_rate
+            perf_pt = max(BLOCKS, key=lambda b: ipcs[b])
+            poll_pt = min(BLOCKS, key=lambda b: rates[b])
+            row = "  ".join(f"{ipcs[b]:6.3f}" for b in BLOCKS)
+            print(f"{channels:>8d}ch  {row}   {perf_pt:>6d}B  {poll_pt:>10d}B")
+    print(
+        "\nPaper's shape: the pollution point sits at KB-scale blocks, but the"
+        "\nperformance point only moves there once the channel is wide enough"
+        "\nto absorb the bandwidth (Table 2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Bring your own workload: hand-built traces on the public API.
+
+Demonstrates the trace format directly — no synthetic SPEC profiles —
+by writing two tiny kernels by hand and showing how the scheduled
+region prefetcher treats them differently:
+
+* a dense array sweep (region prefetching excels: spatial locality),
+* a dependent pointer chase (nothing to prefetch: each address depends
+  on the previous load).
+
+Run:  python examples/custom_workload.py
+"""
+
+import numpy as np
+
+from repro import System, presets
+from repro.cpu.trace import TraceBuilder
+
+N = 6_000
+
+
+def array_sweep():
+    """for i in range(...): sum += a[i]  (8-byte elements)."""
+    builder = TraceBuilder("array-sweep", description="dense unit-stride reduction")
+    for i in range(N):
+        builder.load(gap=3, addr=i * 8, pc=1)
+    return builder.build()
+
+
+def pointer_chase(seed=1):
+    """node = node.next over a 16MB pool (dep=1 serializes the chain)."""
+    rng = np.random.default_rng(seed)
+    builder = TraceBuilder("pointer-chase", description="dependent list walk")
+    nodes = (16 << 20) // 64
+    for _ in range(N):
+        builder.load(gap=3, addr=int(rng.integers(nodes)) * 64, dep=1, pc=2)
+    return builder.build()
+
+
+def blocked_matrix():
+    """Tiled access: reuse inside a 32KB tile, then move on."""
+    builder = TraceBuilder("blocked", description="tiled working set")
+    tile_bytes = 32 * 1024
+    for tile in range(N // 600):
+        base = tile * tile_bytes
+        for rep in range(3):  # three passes over the tile
+            for off in range(0, tile_bytes, 512):
+                builder.load(gap=4, addr=base + off, pc=3)
+    return builder.build()
+
+
+def run(trace):
+    plain = System(presets.xor_4ch_64b()).run(trace)
+    pf = System(presets.prefetch_4ch_64b()).run(trace)
+    print(f"\n--- {trace.name}: {trace.description}")
+    print(f"  no prefetch : IPC={plain.ipc:5.3f}  L2 miss rate={plain.l2_miss_rate:6.1%}")
+    print(
+        f"  region PF   : IPC={pf.ipc:5.3f}  L2 miss rate={pf.l2_miss_rate:6.1%}  "
+        f"accuracy={pf.prefetch_accuracy:5.1%}  issued={pf.prefetches_issued}"
+    )
+    print(f"  speedup     : {pf.ipc / plain.ipc - 1:+.1%}")
+
+
+def main():
+    for trace in (array_sweep(), pointer_chase(), blocked_matrix()):
+        run(trace)
+    print(
+        "\nThe sweep's misses have spatial locality, so the region engine"
+        "\nconverts them to prefetch hits; the chase's dependent misses give"
+        "\nthe engine accurate-looking regions but no time ahead of the"
+        "\ndemand pointer; the tiled kernel mostly hits in the caches."
+    )
+
+
+if __name__ == "__main__":
+    main()

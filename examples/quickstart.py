@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one benchmark on the paper's systems.
+
+Builds a synthetic `swim` trace (a dense streaming workload, one of the
+paper's ten prefetch winners), runs it on four machine configurations,
+and prints the headline statistics:
+
+* the Section 3 baseline (4 Rambus channels, 64B blocks, base mapping),
+* the XOR address mapping (Figure 3b),
+* scheduled region prefetching on top (Section 4),
+* a perfect L2 for reference.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import System, presets
+from repro.workloads import build_trace
+from repro.workloads.registry import build_warmup_trace
+
+BENCHMARK = "swim"
+MEMORY_REFS = 20_000
+
+
+def run(label, config, warmup, trace):
+    system = System(config)
+    system.warmup(warmup)
+    stats = system.run(trace)
+    print(
+        f"{label:22s} IPC={stats.ipc:5.3f}  "
+        f"L2 miss rate={stats.l2_miss_rate:6.1%}  "
+        f"miss latency={stats.avg_l2_miss_latency:5.0f} cyc  "
+        f"row hits: rd={stats.dram_reads.row_hit_rate:4.0%} "
+        f"wb={stats.dram_writebacks.row_hit_rate:4.0%}  "
+        f"pf acc={stats.prefetch_accuracy:4.0%}"
+    )
+    return stats
+
+
+def main():
+    print(f"benchmark: {BENCHMARK} ({MEMORY_REFS} memory references)\n")
+    warmup = build_warmup_trace(BENCHMARK)
+    trace = build_trace(BENCHMARK, MEMORY_REFS)
+
+    base = run("4ch/64B base mapping", presets.base_4ch_64b(), warmup, trace)
+    xor = run("  + XOR mapping", presets.xor_4ch_64b(), warmup, trace)
+    pf = run("  + region prefetch", presets.prefetch_4ch_64b(), warmup, trace)
+    ideal = run("perfect L2", presets.perfect_l2(), warmup, trace)
+
+    print(
+        f"\nXOR mapping speedup:      {xor.ipc / base.ipc - 1:+7.1%}"
+        f"\nprefetching speedup:      {pf.ipc / xor.ipc - 1:+7.1%}"
+        f"\nremaining gap to perfect: {ideal.ipc / pf.ipc - 1:+7.1%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

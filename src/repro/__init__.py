@@ -1,0 +1,57 @@
+"""repro — reproduction of Lin, Reinhardt & Burger, HPCA 2001.
+
+*Reducing DRAM Latencies with an Integrated Memory Hierarchy Design.*
+
+The package provides a transaction-level simulator of an integrated
+memory hierarchy (out-of-order core, split L1s, on-chip L2, on-die
+memory controller, multi-channel Direct Rambus DRAM) and the paper's
+scheduled region prefetch engine, plus synthetic SPEC2000-like
+workloads and harnesses regenerating every table and figure of the
+paper's evaluation.
+
+Quickstart::
+
+    from repro import System, presets
+    from repro.workloads import build_trace
+
+    trace = build_trace("swim", memory_refs=100_000)
+    stats = System(presets.prefetch_4ch_64b()).run(trace)
+    print(stats.ipc, stats.prefetch_accuracy)
+"""
+
+from repro.core import presets
+from repro.core.config import (
+    CacheConfig,
+    ConfigError,
+    CoreConfig,
+    DRAMConfig,
+    DRDRAMPart,
+    PART_800_34,
+    PART_800_40,
+    PART_800_50,
+    PrefetchConfig,
+    SystemConfig,
+)
+from repro.core.stats import SimStats, harmonic_mean
+from repro.core.system import System, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "ConfigError",
+    "CoreConfig",
+    "DRAMConfig",
+    "DRDRAMPart",
+    "PART_800_34",
+    "PART_800_40",
+    "PART_800_50",
+    "PrefetchConfig",
+    "SimStats",
+    "System",
+    "SystemConfig",
+    "harmonic_mean",
+    "presets",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Cache hierarchy: set-associative caches, MSHRs, replacement, glue."""
+
+from repro.cache.cache import CacheLine, SetAssociativeCache
+from repro.cache.hierarchy import AccessKind, MemoryHierarchy
+from repro.cache.mshr import MSHRFile
+from repro.cache.replacement import INSERTION_PRIORITIES, insertion_index
+
+__all__ = [
+    "AccessKind",
+    "CacheLine",
+    "INSERTION_PRIORITIES",
+    "MSHRFile",
+    "MemoryHierarchy",
+    "SetAssociativeCache",
+    "insertion_index",
+]

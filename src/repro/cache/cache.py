@@ -1,0 +1,160 @@
+"""Set-associative writeback cache with timestamped fills.
+
+Lines are installed with a ``ready_time``: the moment their data
+actually arrives from the next level.  A demand access that finds a
+line whose ``ready_time`` lies in the future is a *delayed hit* — it
+merges with the in-flight fill (MSHR-style) and completes when the
+data does.  This single mechanism models both demand-fill merging and
+demand hits on in-flight prefetches (the paper's prefetch bitmap marks
+blocks "being prefetched or in the cache").
+
+Prefetched lines carry a ``prefetched`` flag until their first demand
+touch, which is when the prefetch counts as *useful* for the accuracy
+statistics; evicting a still-flagged line counts as pollution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.cache.replacement import insertion_index
+from repro.core.config import CacheConfig
+from repro.core.stats import CacheStats
+
+__all__ = ["CacheLine", "SetAssociativeCache"]
+
+
+class CacheLine:
+    """One cache block; ``addr`` is the block-aligned physical address."""
+
+    __slots__ = ("addr", "dirty", "prefetched", "ready_time")
+
+    def __init__(self, addr: int, dirty: bool, prefetched: bool, ready_time: float) -> None:
+        self.addr = addr
+        self.dirty = dirty
+        self.prefetched = prefetched
+        self.ready_time = ready_time
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache with configurable insertion priority."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        stats: CacheStats,
+        prefetch_outcome: Optional[Callable[[bool], None]] = None,
+    ) -> None:
+        self.config = config
+        self.stats = stats
+        #: callback invoked with True (useful) / False (evicted unused)
+        #: for each prefetched line's final outcome; feeds the engine's
+        #: accuracy throttle and the global prefetch counters.
+        self._prefetch_outcome = prefetch_outcome
+        self._offset_bits = config.block_offset_bits
+        self._index_mask = config.num_sets - 1
+        self._block_mask = ~(config.block_bytes - 1)
+        # Each set is a list ordered MRU (index 0) -> LRU (index -1).
+        self._sets: List[List[CacheLine]] = [[] for _ in range(config.num_sets)]
+        #: set by :meth:`access`: the last hit consumed a prefetched line.
+        self.last_was_prefetched = False
+
+    # -- lookups -----------------------------------------------------------------
+
+    def block_address(self, addr: int) -> int:
+        return addr & self._block_mask
+
+    def _set_for(self, block_addr: int) -> List[CacheLine]:
+        return self._sets[(block_addr >> self._offset_bits) & self._index_mask]
+
+    def contains(self, addr: int) -> bool:
+        """Presence probe with no side effects (no recency update)."""
+        block = self.block_address(addr)
+        return any(line.addr == block for line in self._set_for(block))
+
+    def peek(self, addr: int) -> Optional[CacheLine]:
+        """Return the line holding ``addr`` without touching recency."""
+        block = self.block_address(addr)
+        for line in self._set_for(block):
+            if line.addr == block:
+                return line
+        return None
+
+    # -- demand path ---------------------------------------------------------------
+
+    def access(self, addr: int, is_write: bool) -> Optional[CacheLine]:
+        """Demand access: on hit, promote to MRU and return the line.
+
+        Updates hit/miss counters; the caller handles the miss path
+        (fetch from the next level, then :meth:`fill`).  A hit on a
+        still-in-flight line is returned as a hit; the caller compares
+        ``ready_time`` with the access time to account the extra delay.
+        """
+        self.stats.accesses += 1
+        self.last_was_prefetched = False
+        block = self.block_address(addr)
+        lines = self._set_for(block)
+        for i, line in enumerate(lines):
+            if line.addr == block:
+                if i != 0:
+                    del lines[i]
+                    lines.insert(0, line)
+                if is_write:
+                    line.dirty = True
+                if line.prefetched:
+                    line.prefetched = False
+                    self.last_was_prefetched = True
+                    if self._prefetch_outcome is not None:
+                        self._prefetch_outcome(True)
+                self.stats.hits += 1
+                return line
+        self.stats.misses += 1
+        return None
+
+    # -- fill path ------------------------------------------------------------------
+
+    def fill(
+        self,
+        addr: int,
+        ready_time: float,
+        dirty: bool = False,
+        insertion: str = "mru",
+        prefetched: bool = False,
+    ) -> Optional[CacheLine]:
+        """Install a block; returns the evicted victim line, if any.
+
+        The victim (not yet written back) is returned so the caller can
+        schedule the writeback; clean victims are returned too so the
+        caller can count evictions uniformly.
+        """
+        block = self.block_address(addr)
+        lines = self._set_for(block)
+        victim = None
+        if len(lines) >= self.config.assoc:
+            victim = lines.pop()
+            self.stats.evictions += 1
+            if victim.prefetched and self._prefetch_outcome is not None:
+                self._prefetch_outcome(False)
+        index = insertion_index(insertion, self.config.assoc)
+        index = min(index, len(lines))
+        lines.insert(index, CacheLine(block, dirty, prefetched, ready_time))
+        return victim
+
+    def invalidate(self, addr: int) -> Optional[CacheLine]:
+        """Drop the line holding ``addr``; returns it if present."""
+        block = self.block_address(addr)
+        lines = self._set_for(block)
+        for i, line in enumerate(lines):
+            if line.addr == block:
+                del lines[i]
+                return line
+        return None
+
+    # -- diagnostics ----------------------------------------------------------------
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def resident_blocks(self) -> List[int]:
+        """All block addresses currently cached (test helper)."""
+        return [line.addr for lines in self._sets for line in lines]

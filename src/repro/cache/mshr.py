@@ -1,0 +1,52 @@
+"""Miss Status Holding Register occupancy limiter.
+
+The target system has a finite number of MSHRs per data cache
+(Section 3.1: eight).  In the transaction-level model, in-flight fill
+*merging* is handled by installing lines with a future ``ready_time``
+(see :mod:`repro.cache.cache`); this class models only the structural
+limit: a new miss must wait for a free MSHR when all are outstanding.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+__all__ = ["MSHRFile"]
+
+
+class MSHRFile:
+    """Bounded set of outstanding fills, tracked as completion times."""
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ValueError("MSHR file needs at least one entry")
+        self.entries = entries
+        self._completions: List[float] = []
+        #: number of times a miss had to wait for a free MSHR.
+        self.stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._completions)
+
+    def acquire(self, now: float) -> float:
+        """Earliest time a new miss can allocate an MSHR, >= ``now``."""
+        heap = self._completions
+        while heap and heap[0] <= now:
+            heapq.heappop(heap)
+        if len(heap) < self.entries:
+            return now
+        self.stalls += 1
+        wait_until = heapq.heappop(heap)
+        # Entries completing at the same instant free together.
+        while heap and heap[0] <= wait_until and len(heap) >= self.entries:
+            heapq.heappop(heap)
+        return wait_until
+
+    def commit(self, completion: float) -> None:
+        """Record a newly issued fill that completes at ``completion``."""
+        heapq.heappush(self._completions, completion)
+
+    def reset(self) -> None:
+        self._completions.clear()
+        self.stalls = 0

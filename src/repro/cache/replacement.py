@@ -1,0 +1,35 @@
+"""Recency-chain replacement with configurable insertion priority.
+
+The paper's L2 uses LRU replacement but loads blocks into one of four
+positions on the recency chain (Section 4.1): most-recently-used (MRU,
+the conventional choice), second-most-recently-used (SMRU),
+second-least-recently-used (SLRU), or least-recently-used (LRU).
+Loading prefetches at LRU priority bounds pollution: prefetched data
+can displace at most one way's worth of referenced data per set.
+"""
+
+from __future__ import annotations
+
+__all__ = ["INSERTION_PRIORITIES", "insertion_index"]
+
+#: Named insertion points, from highest retention to lowest.
+INSERTION_PRIORITIES = ("mru", "smru", "slru", "lru")
+
+
+def insertion_index(priority: str, assoc: int) -> int:
+    """Chain index (0 = MRU end) at which to insert a new block.
+
+    For associativities below four, the four named positions collapse
+    onto the available chain slots (clamped into ``[0, assoc - 1]``).
+    """
+    if priority not in INSERTION_PRIORITIES:
+        raise ValueError(f"unknown insertion priority {priority!r}")
+    if assoc < 1:
+        raise ValueError("associativity must be >= 1")
+    raw = {
+        "mru": 0,
+        "smru": 1,
+        "slru": assoc - 2,
+        "lru": assoc - 1,
+    }[priority]
+    return max(0, min(assoc - 1, raw))

@@ -1,0 +1,30 @@
+"""Simulation core: configuration, statistics, system wiring, presets."""
+
+from repro.core.config import (
+    CacheConfig,
+    ConfigError,
+    CoreConfig,
+    DRAMConfig,
+    DRDRAMPart,
+    PrefetchConfig,
+    SystemConfig,
+)
+from repro.core.stats import CacheStats, DRAMClassStats, SimStats, harmonic_mean, merge_stats
+from repro.core.system import System, simulate
+
+__all__ = [
+    "CacheConfig",
+    "CacheStats",
+    "ConfigError",
+    "CoreConfig",
+    "DRAMClassStats",
+    "DRAMConfig",
+    "DRDRAMPart",
+    "PrefetchConfig",
+    "SimStats",
+    "System",
+    "SystemConfig",
+    "harmonic_mean",
+    "merge_stats",
+    "simulate",
+]

@@ -1,0 +1,107 @@
+"""Named system configurations used throughout the paper's evaluation.
+
+Every experiment in Sections 3 and 4 is one of a handful of machine
+configurations; these factories give them canonical names.  Each
+returns a fresh :class:`SystemConfig` so callers may ``replace`` fields
+freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import DRAMConfig, PrefetchConfig, SystemConfig
+
+__all__ = [
+    "base_4ch_64b",
+    "xor_4ch_64b",
+    "prefetch_4ch_64b",
+    "xor_8ch_256b",
+    "prefetch_8ch_256b",
+    "perfect_l2",
+    "perfect_memory",
+    "unscheduled_prefetch_4ch_64b",
+    "scheduled_fifo_prefetch_4ch_64b",
+]
+
+
+def base_4ch_64b() -> SystemConfig:
+    """Section 3's starting point: 4 channels, 64B blocks, base mapping."""
+    return SystemConfig(dram=DRAMConfig(mapping="base"))
+
+
+def xor_4ch_64b() -> SystemConfig:
+    """The optimized baseline: base system plus the XOR bank mapping."""
+    return SystemConfig(dram=DRAMConfig(mapping="xor"))
+
+
+def prefetch_4ch_64b(region_bytes: int = 4096) -> SystemConfig:
+    """The paper's best 4-channel system: XOR mapping + scheduled LIFO
+    region prefetching with LRU insertion (Section 4.3)."""
+    return SystemConfig(
+        dram=DRAMConfig(mapping="xor"),
+        prefetch=PrefetchConfig(
+            enabled=True,
+            region_bytes=region_bytes,
+            policy="lifo",
+            scheduled=True,
+            bank_aware=True,
+            insertion="lru",
+        ),
+    )
+
+
+def xor_8ch_256b() -> SystemConfig:
+    """The high-bandwidth comparison point of Figure 5."""
+    config = SystemConfig(dram=DRAMConfig(mapping="xor", channels=8))
+    return config.with_block_size(256)
+
+
+def prefetch_8ch_256b(region_bytes: int = 4096) -> SystemConfig:
+    """Figure 5's best overall system: 8 channels, 256B blocks, XOR
+    mapping, scheduled LIFO region prefetching."""
+    config = prefetch_4ch_64b(region_bytes=region_bytes).with_channels(8)
+    return config.with_block_size(256)
+
+
+def perfect_l2() -> SystemConfig:
+    """Idealized L2 (every L1 miss hits in 12 cycles)."""
+    return replace(xor_4ch_64b(), perfect_l2=True)
+
+
+def perfect_memory() -> SystemConfig:
+    """Idealized memory (every reference hits in the L1)."""
+    return replace(xor_4ch_64b(), perfect_memory=True)
+
+
+def unscheduled_prefetch_4ch_64b(region_bytes: int = 4096) -> SystemConfig:
+    """Table 4's naive "FIFO prefetch": every region prefetch issues
+    immediately, competing with demand misses for the channel."""
+    return SystemConfig(
+        dram=DRAMConfig(mapping="xor"),
+        prefetch=PrefetchConfig(
+            enabled=True,
+            region_bytes=region_bytes,
+            policy="fifo",
+            scheduled=False,
+            bank_aware=False,
+            insertion="lru",
+        ),
+    )
+
+
+def scheduled_fifo_prefetch_4ch_64b(region_bytes: int = 4096) -> SystemConfig:
+    """Table 4's "scheduled FIFO": idle-channel scheduling without the
+    LIFO/bank-aware prioritization refinements."""
+    return SystemConfig(
+        dram=DRAMConfig(mapping="xor"),
+        prefetch=PrefetchConfig(
+            enabled=True,
+            region_bytes=region_bytes,
+            policy="fifo",
+            scheduled=True,
+            bank_aware=False,
+            promote_on_miss=False,
+            insertion="lru",
+        ),
+    )

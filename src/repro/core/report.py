@@ -1,0 +1,113 @@
+"""Human-readable run reports.
+
+``format_report(stats, config)`` renders everything a run produced —
+core throughput, per-cache behaviour, DRAM row-buffer outcomes per
+access class, channel utilizations, and the prefetch engine's
+bookkeeping — in the style of a simulator's end-of-run dump.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import SystemConfig
+from repro.core.stats import CacheStats, DRAMClassStats, SimStats
+
+__all__ = ["format_report"]
+
+
+def _pct(value: float) -> str:
+    return f"{value:6.1%}"
+
+
+def _cache_lines(label: str, cache: CacheStats) -> List[str]:
+    if not cache.accesses:
+        return [f"  {label:4s}  (no accesses)"]
+    return [
+        f"  {label:4s}  accesses {cache.accesses:>10d}   hits {cache.hits:>10d}"
+        f"   miss rate {_pct(cache.miss_rate)}"
+        f"   delayed hits {cache.delayed_hits:>8d}"
+        f"   writebacks {cache.writebacks:>8d}"
+    ]
+
+
+def _dram_lines(label: str, cls: DRAMClassStats) -> List[str]:
+    if not cls.accesses:
+        return [f"  {label:10s}  (none)"]
+    return [
+        f"  {label:10s}  {cls.accesses:>9d} accesses   "
+        f"row hits {_pct(cls.row_hit_rate)}   "
+        f"empty {cls.row_empty:>8d}   conflicts {cls.row_misses:>8d}   "
+        f"adjacency flushes {cls.adjacency_flushes:>6d}"
+    ]
+
+
+def format_report(stats: SimStats, config: Optional[SystemConfig] = None) -> str:
+    """Render one run's statistics as a multi-section text report."""
+    out: List[str] = []
+    out.append("=== core ===")
+    out.append(
+        f"  instructions {stats.instructions:>12d}   cycles {stats.cycles:>14.0f}"
+        f"   IPC {stats.ipc:6.3f}"
+    )
+    out.append(
+        f"  loads {stats.loads:>10d}   stores {stats.stores:>10d}"
+        f"   ifetches {stats.ifetches:>10d}   sw-prefetches {stats.software_prefetches:>8d}"
+    )
+
+    out.append("=== caches ===")
+    out.extend(_cache_lines("L1I", stats.l1i))
+    out.extend(_cache_lines("L1D", stats.l1d))
+    out.extend(_cache_lines("L2", stats.l2))
+    out.append(
+        f"  L2 demand fetches {stats.l2_demand_fetches:>8d}"
+        f"   miss rate {_pct(stats.l2_miss_rate)}"
+        f"   avg miss latency {stats.avg_l2_miss_latency:7.1f} cyc"
+    )
+
+    out.append("=== DRAM ===")
+    out.extend(_dram_lines("reads", stats.dram_reads))
+    out.extend(_dram_lines("writebacks", stats.dram_writebacks))
+    out.extend(_dram_lines("prefetches", stats.dram_prefetches))
+    out.append(
+        f"  utilization   command {_pct(stats.command_channel_utilization)}"
+        f"   data {_pct(stats.data_channel_utilization)}"
+        f"   ({stats.data_packets} data packets)"
+    )
+
+    if stats.prefetches_issued or stats.prefetch_regions_enqueued:
+        out.append("=== prefetch engine ===")
+        out.append(
+            f"  issued {stats.prefetches_issued:>9d}   useful {stats.prefetches_useful:>9d}"
+            f"   accuracy {_pct(stats.prefetch_accuracy)}"
+            f"   late {stats.prefetches_late:>7d}"
+            f"   evicted unused {stats.prefetched_blocks_evicted_unused:>7d}"
+        )
+        out.append(
+            f"  regions: enqueued {stats.prefetch_regions_enqueued:>7d}"
+            f"   completed {stats.prefetch_regions_completed:>7d}"
+            f"   replaced {stats.prefetch_regions_replaced:>7d}"
+            f"   promoted {stats.prefetch_regions_promoted:>7d}"
+            f"   throttled selects {stats.prefetches_throttled:>6d}"
+        )
+
+    if config is not None:
+        out.append("=== configuration ===")
+        out.append(
+            f"  core {config.core.clock_ghz}GHz x{config.core.issue_width},"
+            f" window {config.core.window_size}"
+            f" | L2 {config.l2.size_bytes >> 10}KB/{config.l2.assoc}way"
+            f"/{config.l2.block_bytes}B"
+            f" | DRAM {config.dram.channels}ch {config.dram.part.name}"
+            f" {config.dram.mapping} mapping"
+        )
+        if config.prefetch.enabled:
+            pf = config.prefetch
+            out.append(
+                f"  prefetch: {pf.engine} {pf.region_bytes}B regions,"
+                f" {pf.policy.upper()},"
+                f" {'scheduled' if pf.scheduled else 'UNSCHEDULED'},"
+                f" {'bank-aware' if pf.bank_aware else 'bank-blind'},"
+                f" {pf.insertion.upper()} insertion"
+            )
+    return "\n".join(out)

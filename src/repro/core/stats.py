@@ -1,0 +1,243 @@
+"""Simulation statistics.
+
+``SimStats`` is the single mutable counter bundle threaded through the
+simulator; every component increments its own fields.  Derived metrics
+(miss rates, channel utilizations, prefetch accuracy, IPC) are exposed
+as properties so they are always consistent with the raw counters.
+
+The metric definitions follow the paper:
+
+* **L2 miss rate** — fraction of L2 demand accesses that required a
+  DRAM demand fetch (a demand that merges with an in-flight prefetch
+  counts as a hit, since it does not issue a new DRAM access).
+* **L2 miss latency** — mean cycles from an L2 demand miss issuing to
+  the block's arrival, averaged over demand fetches.
+* **Command-channel utilization** — the time occupied by command
+  packets (PRER/ACT on the row bus, RD/WR on the column bus) as a
+  fraction of elapsed time (Section 4.4).
+* **Data-channel utilization** — fraction of cycles during which data
+  packets are transmitted.
+* **Prefetch accuracy** — fraction of prefetched blocks that are
+  referenced by a demand access before eviction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Sequence
+
+__all__ = ["CacheStats", "DRAMClassStats", "SimStats", "harmonic_mean", "merge_stats"]
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean, the paper's aggregate for IPC across benchmarks."""
+    values = list(values)
+    if not values:
+        raise ValueError("harmonic_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic_mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+    #: demand accesses that merged with an in-flight fill (MSHR hit).
+    delayed_hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    evictions: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.miss_rate if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+
+@dataclass
+class DRAMClassStats:
+    """Row-buffer outcome counters for one access class.
+
+    The paper reports row-buffer hit rates separately for demand reads,
+    writebacks, and prefetches (Sections 3.4 and 4.2).
+    """
+
+    accesses: int = 0
+    row_hits: int = 0
+    #: bank was precharged (empty row buffer): ACT+RD/WR only.
+    row_empty: int = 0
+    #: open-row conflict: full PRER+ACT+RD/WR sequence.
+    row_misses: int = 0
+    #: row misses caused purely by the shared sense-amp restriction
+    #: (the previous access to this bank used the same row, but a
+    #: neighbouring bank's activation flushed it).
+    adjacency_flushes: int = 0
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "DRAMClassStats") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+
+@dataclass
+class SimStats:
+    """All counters produced by one simulation run."""
+
+    # -- core ---------------------------------------------------------------
+    instructions: int = 0
+    cycles: float = 0.0
+    loads: int = 0
+    stores: int = 0
+    ifetches: int = 0
+    software_prefetches: int = 0
+
+    # -- caches ---------------------------------------------------------------
+    l1i: CacheStats = field(default_factory=CacheStats)
+    l1d: CacheStats = field(default_factory=CacheStats)
+    l2: CacheStats = field(default_factory=CacheStats)
+
+    #: cycles spent by demand L2 misses waiting for DRAM (sum / count).
+    l2_demand_fetches: int = 0
+    l2_miss_latency_sum: float = 0.0
+
+    # -- DRAM -----------------------------------------------------------------
+    dram_reads: DRAMClassStats = field(default_factory=DRAMClassStats)
+    dram_writebacks: DRAMClassStats = field(default_factory=DRAMClassStats)
+    dram_prefetches: DRAMClassStats = field(default_factory=DRAMClassStats)
+    #: busy time (CPU cycles) accumulated on each bus of the logical channel.
+    row_bus_busy: float = 0.0
+    col_bus_busy: float = 0.0
+    data_bus_busy: float = 0.0
+    data_packets: int = 0
+
+    # -- prefetch engine -------------------------------------------------------
+    prefetches_issued: int = 0
+    prefetches_useful: int = 0
+    #: demand accesses that merged with an in-flight prefetch.
+    prefetches_late: int = 0
+    prefetched_blocks_evicted_unused: int = 0
+    prefetch_regions_enqueued: int = 0
+    prefetch_regions_replaced: int = 0
+    prefetch_regions_completed: int = 0
+    prefetch_regions_promoted: int = 0
+    prefetches_throttled: int = 0
+
+    # -- derived ---------------------------------------------------------------
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """Fraction of L2 demand accesses that required a DRAM fetch."""
+        return self.l2_demand_fetches / self.l2.accesses if self.l2.accesses else 0.0
+
+    @property
+    def avg_l2_miss_latency(self) -> float:
+        if not self.l2_demand_fetches:
+            return 0.0
+        return self.l2_miss_latency_sum / self.l2_demand_fetches
+
+    @property
+    def dram_accesses(self) -> int:
+        return (
+            self.dram_reads.accesses
+            + self.dram_writebacks.accesses
+            + self.dram_prefetches.accesses
+        )
+
+    @property
+    def command_channel_utilization(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return min(1.0, (self.row_bus_busy + self.col_bus_busy) / self.cycles)
+
+    @property
+    def data_channel_utilization(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return min(1.0, self.data_bus_busy / self.cycles)
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Useful fraction of issued prefetches."""
+        if not self.prefetches_issued:
+            return 0.0
+        return self.prefetches_useful / self.prefetches_issued
+
+    @property
+    def overall_row_hit_rate(self) -> float:
+        total = DRAMClassStats()
+        for cls in (self.dram_reads, self.dram_writebacks, self.dram_prefetches):
+            total.merge(cls)
+        return total.row_hit_rate
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary of headline metrics, for reports and tests."""
+        return {
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "l1d_miss_rate": self.l1d.miss_rate,
+            "l1i_miss_rate": self.l1i.miss_rate,
+            "l2_accesses": self.l2.accesses,
+            "l2_miss_rate": self.l2_miss_rate,
+            "avg_l2_miss_latency": self.avg_l2_miss_latency,
+            "dram_accesses": self.dram_accesses,
+            "read_row_hit_rate": self.dram_reads.row_hit_rate,
+            "writeback_row_hit_rate": self.dram_writebacks.row_hit_rate,
+            "prefetch_row_hit_rate": self.dram_prefetches.row_hit_rate,
+            "command_utilization": self.command_channel_utilization,
+            "data_utilization": self.data_channel_utilization,
+            "prefetches_issued": self.prefetches_issued,
+            "prefetch_accuracy": self.prefetch_accuracy,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter in place (the object identity is shared by
+        all simulator components, so warm-up resets must mutate)."""
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, (CacheStats, DRAMClassStats)):
+                for inner in fields(value):
+                    setattr(value, inner.name, 0)
+            elif isinstance(value, float):
+                setattr(self, f.name, 0.0)
+            else:
+                setattr(self, f.name, 0)
+
+    def merge(self, other: "SimStats") -> None:
+        """Accumulate another run's counters into this one.
+
+        Cycle counts add, which makes the merged ``ipc`` a weighted
+        (by cycles) aggregate; the experiment layer uses per-run IPCs
+        and harmonic means instead, as the paper does.
+        """
+        for f in fields(self):
+            mine = getattr(self, f.name)
+            theirs = getattr(other, f.name)
+            if isinstance(mine, (CacheStats, DRAMClassStats)):
+                mine.merge(theirs)
+            else:
+                setattr(self, f.name, mine + theirs)
+
+
+def merge_stats(runs: List[SimStats]) -> SimStats:
+    """Sum a list of runs into one ``SimStats``."""
+    total = SimStats()
+    for run in runs:
+        total.merge(run)
+    return total

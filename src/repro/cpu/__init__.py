@@ -1,0 +1,6 @@
+"""Trace format and the trace-driven out-of-order core timing model."""
+
+from repro.cpu.core import OutOfOrderCore
+from repro.cpu.trace import Trace, TraceBuilder
+
+__all__ = ["OutOfOrderCore", "Trace", "TraceBuilder"]

@@ -1,0 +1,165 @@
+"""Trace-driven out-of-order core timing model.
+
+A deliberately simple but faithful abstraction of the paper's
+SimpleScalar/21364-like core (Section 3.1): what matters for the
+memory-system conclusions is how much *memory-level parallelism* the
+core exposes, which is bounded by
+
+* the fetch/dispatch bandwidth (``issue_width`` instructions/cycle),
+* the instruction window (RUU): an instruction cannot dispatch until
+  the instruction ``window_size`` before it has committed, and commits
+  are in order — so a long-latency miss at the window head eventually
+  stalls dispatch;
+* the load/store queue capacity;
+* the L1 MSHRs: at most ``mshrs`` outstanding L1 misses;
+* explicit data dependences: a trace record with ``dep=1`` cannot issue
+  before the previous load completes (pointer chasing).
+
+Loads occupy their window slot until their data returns; stores retire
+into a write buffer after ``STORE_COMMIT_LATENCY`` cycles (their cache
+fill continues in the background but only holds an MSHR).  An
+instruction-fetch miss stalls dispatch until the fetch completes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from repro.cache.hierarchy import AccessKind, MemoryHierarchy
+from repro.cache.mshr import MSHRFile
+from repro.core.config import SystemConfig
+from repro.core.stats import SimStats
+from repro.cpu.trace import Trace
+
+__all__ = ["OutOfOrderCore"]
+
+#: cycles a store occupies its window slot (write-buffer drain is
+#: modelled by the MSHR it holds until the fill completes).
+STORE_COMMIT_LATENCY = 1
+
+
+class OutOfOrderCore:
+    """Executes a :class:`Trace` against a :class:`MemoryHierarchy`."""
+
+    def __init__(self, config: SystemConfig, hierarchy: MemoryHierarchy, stats: SimStats) -> None:
+        self.config = config
+        self.hierarchy = hierarchy
+        self.stats = stats
+
+    def run(self, trace: Trace, start_time: float = 0.0) -> float:
+        """Simulate the whole trace starting at ``start_time``.
+
+        Returns the finish time.  Instruction and cycle counts are
+        accumulated into the shared stats; callers that interleave
+        warm-up and measurement runs reset the stats in between.
+        """
+        cfg = self.config.core
+        stats = self.stats
+        access = self.hierarchy.access
+        issue_width = float(cfg.issue_width)
+        window_size = cfg.window_size
+        lsq_size = cfg.lsq_size
+        use_swpf = self.config.software_prefetch
+
+        d_mshrs = MSHRFile(self.config.l1d.mshrs)
+        i_mshrs = MSHRFile(self.config.l1i.mshrs)
+
+        # (instruction index, completion time) of in-flight window entries,
+        # ordered by instruction index.
+        window: Deque[Tuple[int, float]] = deque()
+        dispatch = start_time  # time the next instruction can dispatch
+        commit_front = start_time  # in-order commit time of retired entries
+        # per-PC completion times: a dep record serializes against the
+        # previous load of the same static access site (pointer chains
+        # serialize per chain, streams per stream).
+        chain_completion = {}
+        end_time = start_time
+        inst_count = 0
+
+        # Plain Python lists iterate ~3x faster than numpy scalars here.
+        kinds = trace.kinds.tolist()
+        gaps = trace.gaps.tolist()
+        addrs = trace.addrs.tolist()
+        deps = trace.deps.tolist()
+        pcs = trace.pcs.tolist()
+
+        LOAD = AccessKind.LOAD
+        STORE = AccessKind.STORE
+        IFETCH = AccessKind.IFETCH
+        SWPF = AccessKind.SWPF
+
+        for i in range(len(kinds)):
+            kind = kinds[i]
+            gap = gaps[i]
+
+            if kind == SWPF and not use_swpf:
+                # Discarded at fetch (Section 4.7 baseline behaviour):
+                # the non-memory gap instructions still execute.
+                if gap:
+                    inst_count += gap
+                    dispatch += gap / issue_width
+                continue
+
+            inst_count += gap
+            dispatch += gap / issue_width
+
+            if kind == IFETCH:
+                stats.ifetches += 1
+                ready = i_mshrs.acquire(dispatch)
+                completion, missed = access(ready, addrs[i], IFETCH, pcs[i])
+                if missed:
+                    i_mshrs.commit(completion)
+                    # Fetch stalls: nothing dispatches until the line returns.
+                    dispatch = max(dispatch, completion)
+                if completion > end_time:
+                    end_time = completion
+                continue
+
+            inst_count += 1  # the memory (or prefetch) instruction itself
+            index = inst_count
+            dispatch += 1.0 / issue_width
+
+            # Window and LSQ occupancy: dispatch waits for in-order commit
+            # of entries falling out of the window / queue.
+            while window and (window[0][0] <= index - window_size or len(window) >= lsq_size):
+                _, done = window.popleft()
+                if done > commit_front:
+                    commit_front = done
+                if commit_front > dispatch:
+                    dispatch = commit_front
+
+            issue = dispatch
+            if deps[i]:
+                ready = chain_completion.get(pcs[i], start_time)
+                if ready > issue:
+                    issue = ready
+
+            issue = d_mshrs.acquire(issue)
+
+            completion, missed = access(issue, addrs[i], kind, pcs[i])
+            if missed:
+                d_mshrs.commit(completion)
+
+            if kind == LOAD:
+                stats.loads += 1
+                window.append((index, completion))
+                chain_completion[pcs[i]] = completion
+            elif kind == STORE:
+                stats.stores += 1
+                window.append((index, issue + STORE_COMMIT_LATENCY))
+            else:  # executed software prefetch: non-binding, retires at once
+                stats.software_prefetches += 1
+
+            if completion > end_time:
+                end_time = completion
+
+        # Drain: all in-flight work commits, the final gap instructions run.
+        for _, done in window:
+            if done > commit_front:
+                commit_front = done
+        finish = max(dispatch, commit_front, end_time)
+        self.hierarchy.finish(finish)
+        stats.instructions += inst_count
+        stats.cycles += finish - start_time
+        return finish

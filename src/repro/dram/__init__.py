@@ -1,0 +1,25 @@
+"""Direct Rambus DRAM model: banks, channel scheduler, mappings, controller."""
+
+from repro.dram.bank import Bank, BankArray
+from repro.dram.channel import AccessOutcome, LogicalChannel
+from repro.dram.controller import MemoryController
+from repro.dram.mapping import (
+    AddressMapping,
+    BaseMapping,
+    DRAMCoordinates,
+    XorMapping,
+    make_mapping,
+)
+
+__all__ = [
+    "AccessOutcome",
+    "AddressMapping",
+    "Bank",
+    "BankArray",
+    "BaseMapping",
+    "DRAMCoordinates",
+    "LogicalChannel",
+    "MemoryController",
+    "XorMapping",
+    "make_mapping",
+]

@@ -1,0 +1,173 @@
+"""Timing model of the ganged (simply interleaved) DRDRAM channel.
+
+The model tracks three shared resources — the 3-bit row command bus,
+the 5-bit column command bus, and the 16-bit-per-physical-channel data
+bus — as "next free" timestamps, plus per-bank row-buffer state.  An
+access is scheduled by walking the DRDRAM command sequence:
+
+* row miss:   PRER (row bus) → ACT (row bus) → RD/WR per dualoct
+* bank empty: ACT (row bus) → RD/WR per dualoct
+* row hit:    RD/WR per dualoct
+
+Each command packet occupies its control bus for one packet time
+(10 ns); each data packet occupies the data bus for 10 ns, starting
+``t_rdwr`` after its RD/WR issues.  With the 800-40 part this yields
+the paper's contention-free latencies: 40 ns row hit, 57.5 ns
+precharged, 77.5 ns row miss (Section 2.2), and back-to-back column
+reads stream the data bus at 100% utilization.
+
+Commands of a single request issue in order and requests are not
+interleaved (the paper's controller "pipelines requests, but does not
+reorder or interleave commands from multiple requests", Section 4.4);
+pipelining arises because a request may begin using the command buses
+while the previous request's data packets still occupy the data bus.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.config import CoreConfig, DRAMConfig
+from repro.core.stats import DRAMClassStats, SimStats
+from repro.dram.bank import BankArray
+from repro.dram.mapping import DRAMCoordinates
+
+__all__ = ["AccessOutcome", "LogicalChannel"]
+
+
+class AccessOutcome:
+    """Row-buffer outcome labels."""
+
+    ROW_HIT = "hit"
+    ROW_EMPTY = "empty"
+    ROW_MISS = "miss"
+
+
+class LogicalChannel:
+    """Scheduler for the ganged Rambus channel; all times in CPU cycles."""
+
+    def __init__(self, config: DRAMConfig, core: CoreConfig, stats: SimStats) -> None:
+        self.config = config
+        self.stats = stats
+        part = config.part
+        self._t_prer = core.ns_to_cycles(part.t_prer_ns)
+        self._t_act = core.ns_to_cycles(part.t_act_ns)
+        self._t_rdwr = core.ns_to_cycles(part.t_rdwr_ns)
+        self._t_transfer = core.ns_to_cycles(part.t_transfer_ns)
+        self._t_packet = core.ns_to_cycles(part.t_packet_ns)
+        self._closed_page = config.row_policy == "closed"
+        self.banks = BankArray(
+            config.banks_per_device,
+            config.devices_per_channel,
+            shared_sense_amps=config.shared_sense_amps,
+        )
+        self.row_bus_free = 0.0
+        self.col_bus_free = 0.0
+        self.data_bus_free = 0.0
+
+    # -- queries used by the controller and prefetch prioritizer ------------
+
+    def open_row(self, bank: int) -> Optional[int]:
+        """Row currently latched in ``bank``, or None."""
+        return self.banks.open_row(bank)
+
+    def row_is_open(self, coords: DRAMCoordinates) -> bool:
+        return self.banks.open_row(coords.bank) == coords.row
+
+    def quiesce_time(self) -> float:
+        """Time at which every channel resource is free."""
+        return max(self.row_bus_free, self.col_bus_free, self.data_bus_free)
+
+    def command_issue_time(self) -> float:
+        """Earliest time the controller can issue another request.
+
+        The controller pipelines requests, so it is "ready for another
+        access" (Section 4.2) once the column command bus drains — data
+        packets of the previous access may still be in flight, and the
+        row bus may still be working through earlier precharge/activate
+        pairs (bank-aware prefetches target open rows and rarely need
+        it; when one does, the access path makes it wait there).
+        """
+        return self.col_bus_free
+
+    def classify(self, coords: DRAMCoordinates) -> str:
+        """Row-buffer outcome an access to ``coords`` would see now."""
+        open_row = self.banks.open_row(coords.bank)
+        if open_row == coords.row:
+            return AccessOutcome.ROW_HIT
+        if open_row is None:
+            return AccessOutcome.ROW_EMPTY
+        return AccessOutcome.ROW_MISS
+
+    # -- the access path -------------------------------------------------------
+
+    def access(
+        self,
+        time: float,
+        coords: DRAMCoordinates,
+        packets: int,
+        is_write: bool,
+        cls: DRAMClassStats,
+    ) -> Tuple[float, float]:
+        """Schedule one request; returns (first_data_time, completion_time).
+
+        ``packets`` logical dualocts are transferred starting at
+        ``coords`` (a cache-block fetch or writeback).  ``cls`` selects
+        the per-class stats bucket (demand read / writeback / prefetch).
+        """
+        bank = self.banks[coords.bank]
+        outcome = self.classify(coords)
+        cls.accesses += 1
+        stats = self.stats
+
+        if outcome == AccessOutcome.ROW_HIT:
+            # Consecutive column reads of an open row pipeline freely;
+            # bank.busy_until only gates precharge/activate.
+            cls.row_hits += 1
+            row_ready = time
+        else:
+            if outcome == AccessOutcome.ROW_EMPTY:
+                cls.row_empty += 1
+                if bank.flushed_row == coords.row:
+                    cls.adjacency_flushes += 1
+                act_start = max(time, self.row_bus_free, bank.busy_until)
+            else:
+                cls.row_misses += 1
+                prer_start = max(time, self.row_bus_free, bank.busy_until)
+                self.row_bus_free = prer_start + self._t_packet
+                stats.row_bus_busy += self._t_packet
+                act_start = max(prer_start + self._t_prer, self.row_bus_free)
+            self.row_bus_free = act_start + self._t_packet
+            stats.row_bus_busy += self._t_packet
+            row_ready = act_start + self._t_act
+            self.banks.activate(coords.bank, coords.row)
+
+        first_data = 0.0
+        for i in range(packets):
+            # RD/WR commands stream on the column bus at one packet per
+            # packet time; their data packets follow in command order,
+            # queueing on the data bus when transfers back up.  (The
+            # controller pipelines requests without reordering —
+            # Section 4.4 — so data order equals command order.)
+            cmd_start = max(row_ready, self.col_bus_free)
+            self.col_bus_free = cmd_start + self._t_packet
+            stats.col_bus_busy += self._t_packet
+            data_end = max(cmd_start + self._t_rdwr, self.data_bus_free) + self._t_transfer
+            self.data_bus_free = data_end
+            stats.data_bus_busy += self._t_transfer
+            stats.data_packets += 1
+            if i == 0:
+                first_data = data_end
+        completion = self.data_bus_free
+        bank.busy_until = completion
+
+        if self._closed_page:
+            # Automatic precharge after the access: one PRER packet on
+            # the row bus, after which the bank is empty.
+            prer_start = max(completion, self.row_bus_free)
+            self.row_bus_free = prer_start + self._t_packet
+            stats.row_bus_busy += self._t_packet
+            bank.precharge()
+            bank.busy_until = prer_start + self._t_prer
+
+        return first_data, completion

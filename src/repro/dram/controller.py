@@ -1,0 +1,173 @@
+"""Integrated memory controller (Figure 4).
+
+The controller implements the paper's *access prioritizer*: demand
+misses and writebacks always bypass prefetch requests, and prefetches
+are issued only into otherwise-idle channel time.  In the
+transaction-level simulation this is realized by *gap draining*: before
+a demand arriving at time *t* is scheduled, the prefetch engine is
+allowed to issue requests as long as the channel quiesces before *t*.
+A prefetch transfer already in flight when the demand arrives delays it
+— the only contention scheduled prefetching adds (Section 4).
+
+With ``scheduled=False`` the controller reproduces the naive scheme of
+Table 4 ("FIFO prefetch"): every region prefetch issues immediately
+after its triggering demand miss, competing with later demands for the
+channel and inflating miss latency dramatically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.core.config import CoreConfig, DRAMConfig, PrefetchConfig
+from repro.core.stats import SimStats
+from repro.dram.channel import LogicalChannel
+from repro.dram.mapping import make_mapping
+from repro.prefetch.engine import RegionPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+
+__all__ = ["MemoryController"]
+
+PrefetchFill = Callable[[int, float], None]
+ResidencyProbe = Callable[[int], bool]
+
+
+class MemoryController:
+    """On-die memory controller driving the ganged Rambus channel."""
+
+    def __init__(
+        self,
+        dram: DRAMConfig,
+        core: CoreConfig,
+        stats: SimStats,
+        prefetch: Optional[PrefetchConfig] = None,
+        block_bytes: int = 64,
+    ) -> None:
+        self.config = dram
+        self.stats = stats
+        self.mapping = make_mapping(dram)
+        self.channel = LogicalChannel(dram, core, stats)
+        self.block_bytes = block_bytes
+        self._block_packets = dram.transfer_packets(block_bytes)
+        self._packet_time = core.ns_to_cycles(dram.part.t_packet_ns)
+        #: minimum idle headroom before a prefetch may issue: one packet
+        #: keeps a just-arriving demand's column slot clear; a couple
+        #: more keeps speculative traffic out of dense demand streams.
+        self._idle_guard = 2 * self._packet_time
+        self.prefetcher: Optional[RegionPrefetcher] = None
+        self._scheduled = True
+        if prefetch is not None and prefetch.enabled:
+            if prefetch.engine == "stride":
+                self.prefetcher = StridePrefetcher(block_bytes, stats)
+            else:
+                self.prefetcher = RegionPrefetcher(prefetch, block_bytes, stats)
+            self._scheduled = prefetch.scheduled
+        # Wired by the system once the L2 exists.
+        self._prefetch_fill: Optional[PrefetchFill] = None
+        self._resident: ResidencyProbe = lambda addr: False
+
+    def connect_l2(self, prefetch_fill: PrefetchFill, resident: ResidencyProbe) -> None:
+        """Attach the L2 callbacks the prefetch path needs."""
+        self._prefetch_fill = prefetch_fill
+        self._resident = resident
+
+    # -- demand path ----------------------------------------------------------
+
+    def advance(self, time: float) -> None:
+        """The simulated clock reached ``time``: give the prefetch engine
+        the idle channel time since the last access.
+
+        Called on every L2 access (hits included) — the engine must keep
+        running while demands are being absorbed by earlier prefetches,
+        or it could never get ahead of a streaming demand pointer.
+        """
+        if self.prefetcher is not None and self._scheduled:
+            self._drain_prefetches(deadline=time)
+
+    def demand_fetch(
+        self, time: float, addr: int, pc: int = 0, notify_prefetcher: bool = True
+    ) -> float:
+        """Fetch one L2 block on a demand miss; returns data arrival time.
+
+        The idle interval leading up to the miss is made available to
+        the prefetcher first, minus one command-packet time: the access
+        prioritizer would not start a prefetch whose command slot (or
+        data packet) the arriving demand needs, so the engine stops one
+        packet short and the demand's column command lands unimpeded.
+        """
+        if self.prefetcher is not None and self._scheduled:
+            self._drain_prefetches(deadline=time - self._idle_guard)
+        coords = self.mapping.translate(addr)
+        _, completion = self.channel.access(
+            time, coords, self._block_packets, is_write=False, cls=self.stats.dram_reads
+        )
+        if self.prefetcher is not None and notify_prefetcher:
+            self.prefetcher.on_demand_miss(addr, pc=pc)
+            if not self._scheduled:
+                self._drain_all_prefetches(time)
+        return completion
+
+    def writeback(self, time: float, addr: int) -> float:
+        """Write one L2 block back to memory; returns completion time."""
+        coords = self.mapping.translate(addr)
+        _, completion = self.channel.access(
+            time, coords, self._block_packets, is_write=True, cls=self.stats.dram_writebacks
+        )
+        self.stats.l2.writebacks += 1
+        return completion
+
+    # -- prefetch issue --------------------------------------------------------
+
+    def _issue_prefetch(self, time: float) -> Optional[float]:
+        """Issue one prefetch block at ``time``; returns completion or None."""
+        assert self.prefetcher is not None
+        addr = self.prefetcher.select(self.channel, self.mapping, self._resident)
+        if addr is None:
+            return None
+        coords = self.mapping.translate(addr)
+        _, completion = self.channel.access(
+            time, coords, self._block_packets, is_write=False, cls=self.stats.dram_prefetches
+        )
+        self.stats.prefetches_issued += 1
+        if self._prefetch_fill is not None:
+            self._prefetch_fill(addr, completion)
+        return completion
+
+    def _drain_prefetches(self, deadline: float) -> None:
+        """Fill idle channel time before ``deadline`` with prefetches.
+
+        A prefetch issues whenever the controller would otherwise sit
+        idle — i.e. its command pipeline has drained — before the next
+        demand arrives.  A prefetch whose transfer is still in flight
+        when that demand arrives delays it; that is the only contention
+        scheduled prefetching adds (Section 4.2).
+        """
+        while True:
+            start = self.channel.command_issue_time()
+            if start + self._idle_guard > deadline + self._packet_time:
+                return
+            if self._issue_prefetch(start) is None:
+                return
+
+    #: unscheduled mode: how many region blocks issue between demands.
+    #: The naive engine pushes prefetches into the same FCFS stream as
+    #: the demands, so an arriving miss waits behind the burst in
+    #: flight rather than behind the entire queue.
+    UNSCHEDULED_BURST = 12
+
+    def _drain_all_prefetches(self, time: float) -> None:
+        """Unscheduled mode: issue a burst of queued prefetches now."""
+        for _ in range(self.UNSCHEDULED_BURST):
+            if self._issue_prefetch(max(time, self.channel.quiesce_time())) is None:
+                return
+
+    def finish(self, time: float) -> None:
+        """End of simulation: let queued prefetches complete into idle time.
+
+        The paper's engine keeps prefetching as long as the channel is
+        idle; stopping the clock at the last demand access would
+        under-count prefetch traffic, so the run's final idle window is
+        drained here (bounded by ``time``).
+        """
+        if self.prefetcher is not None and self._scheduled:
+            self._drain_prefetches(deadline=time)

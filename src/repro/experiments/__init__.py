@@ -1,0 +1,29 @@
+"""Harnesses regenerating every table and figure of the paper.
+
+Each module exposes ``run(profile=None) -> Result`` and
+``render(result) -> str``; see ``repro.experiments.cli`` (installed as
+the ``repro-experiment`` command) for the command-line front end and
+DESIGN.md for the experiment index.
+"""
+
+from repro.experiments.common import (
+    PROFILES,
+    Profile,
+    active_profile,
+    format_table,
+    harmonic_mean,
+    run_benchmark,
+    run_suite,
+    speedup,
+)
+
+__all__ = [
+    "PROFILES",
+    "Profile",
+    "active_profile",
+    "format_table",
+    "harmonic_mean",
+    "run_benchmark",
+    "run_suite",
+    "speedup",
+]

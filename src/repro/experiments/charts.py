@@ -1,0 +1,90 @@
+"""ASCII charts for the figure experiments.
+
+The paper's Figures 1 and 5 are bar charts; these helpers render the
+same data in a terminal.  ``stacked_bars`` draws horizontal bars with a
+highlighted prefix (used for Figure 1's real-vs-ideal IPC stacks) and
+``grouped_bars`` draws one bar per (item, series) pair (Figure 5's
+per-benchmark system comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+__all__ = ["hbar", "stacked_bars", "grouped_bars"]
+
+_FULL = "#"
+_REST = "."
+
+
+def hbar(value: float, maximum: float, width: int = 40, fill: str = _FULL) -> str:
+    """A single horizontal bar scaled to ``maximum``."""
+    if maximum <= 0:
+        raise ValueError("maximum must be positive")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    clamped = max(0.0, min(value, maximum))
+    cells = round(clamped / maximum * width)
+    return fill * cells
+
+
+def stacked_bars(
+    rows: Sequence[Tuple[str, float, float]],
+    width: int = 40,
+    labels: Tuple[str, str] = ("real", "ideal"),
+) -> str:
+    """Bars with a solid prefix (first value) inside a dotted total.
+
+    ``rows`` is (name, inner value, outer value); the inner segment is
+    drawn solid and the remainder of the outer value dotted — Figure 1's
+    "IPC real inside IPC perfect" shape.
+    """
+    if not rows:
+        raise ValueError("no rows to draw")
+    maximum = max(outer for _, _, outer in rows)
+    out: List[str] = []
+    name_width = max(len(name) for name, _, _ in rows)
+    for name, inner, outer in rows:
+        solid = hbar(min(inner, outer), maximum, width)
+        dotted = hbar(outer, maximum, width, fill=_REST)[len(solid):]
+        out.append(f"{name:>{name_width}}  |{solid}{dotted}|  {inner:.2f} / {outer:.2f}")
+    out.append(f"{'':>{name_width}}  ({_FULL} = {labels[0]}, {_REST} = {labels[1]})")
+    return "\n".join(out)
+
+
+def grouped_bars(
+    data: Mapping[str, Mapping[str, float]],
+    series: Sequence[str],
+    width: int = 40,
+) -> str:
+    """One bar per (item, series): ``data[item][series] -> value``."""
+    if not data:
+        raise ValueError("no data to draw")
+    maximum = max(value for per_item in data.values() for value in per_item.values())
+    name_width = max(len(s) for s in series)
+    out: List[str] = []
+    for item, per_item in data.items():
+        out.append(f"{item}:")
+        for s in series:
+            value = per_item[s]
+            out.append(f"  {s:>{name_width}}  |{hbar(value, maximum, width)}| {value:.3f}")
+    return "\n".join(out)
+
+
+def figure1_chart(rows, width: int = 40) -> str:
+    """Figure 1 as ASCII: each benchmark's real IPC inside perfect-mem."""
+    return stacked_bars(
+        [(r.benchmark, r.ipc_real, r.ipc_perfect_mem) for r in rows],
+        width=width,
+        labels=("IPC real", "IPC perfect memory"),
+    )
+
+
+def figure5_chart(result, width: int = 36) -> str:
+    """Figure 5 as ASCII grouped bars (benchmark x system)."""
+    from repro.experiments.figure5 import TARGETS
+
+    data: Dict[str, Dict[str, float]] = {}
+    for bench in result.benchmarks:
+        data[bench] = {t: result.ipc[(bench, t)] for t in TARGETS}
+    return grouped_bars(data, TARGETS, width=width)

@@ -1,0 +1,66 @@
+"""Command-line entry point: ``repro-experiment <name> [--profile P]``.
+
+Runs one experiment (or ``all``) and prints the paper-style table plus
+the paper-reported reference values for comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.common import PROFILES
+
+__all__ = ["EXPERIMENTS", "main"]
+
+#: experiment name -> module (each exposes run(profile) and render(result)).
+EXPERIMENTS = {
+    "figure1": "repro.experiments.figure1",
+    "table1": "repro.experiments.table1",
+    "table2": "repro.experiments.table2",
+    "mapping": "repro.experiments.mapping",
+    "table3": "repro.experiments.table3",
+    "table4": "repro.experiments.table4",
+    "figure5": "repro.experiments.figure5",
+    "region-size": "repro.experiments.region_size",
+    "utilization": "repro.experiments.utilization",
+    "cache-size": "repro.experiments.cache_size",
+    "latency-sensitivity": "repro.experiments.latency_sensitivity",
+    "software-prefetch": "repro.experiments.software_prefetch",
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Regenerate tables/figures from Lin, Reinhardt & Burger (HPCA 2001).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which paper result to regenerate",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default=None,
+        help="simulation effort (default: REPRO_PROFILE env var, else 'quick')",
+    )
+    args = parser.parse_args(argv)
+
+    profile = PROFILES[args.profile] if args.profile else None
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        module = importlib.import_module(EXPERIMENTS[name])
+        started = time.time()
+        result = module.run(profile)
+        print(module.render(result))
+        print(f"[{name}: {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

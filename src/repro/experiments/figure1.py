@@ -1,0 +1,132 @@
+"""Figure 1: where does the time go?
+
+For each benchmark, three systems are simulated: the real memory
+hierarchy, a perfect L2 (every L1 miss costs 12 cycles), and a perfect
+memory (every reference hits in the L1).  The paper's headline numbers
+(Section 1): with four Rambus channels the suite spends 57% of its time
+servicing L2 misses, 12% servicing L1 misses, and only 31% computing.
+
+* fraction of performance lost to the imperfect memory system:
+  ``(ipc_perfect_mem - ipc_real) / ipc_perfect_mem``
+* fraction lost to L2 misses (the ordering metric of Figure 1):
+  ``(ipc_perfect_l2 - ipc_real) / ipc_perfect_l2``
+
+Fractions are aggregated over harmonic-mean IPCs, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from repro.core.presets import base_4ch_64b
+from repro.experiments.common import (
+    Profile,
+    active_profile,
+    format_table,
+    harmonic_mean,
+    run_benchmark,
+)
+
+__all__ = ["Figure1Row", "Figure1Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Figure1Row:
+    benchmark: str
+    ipc_real: float
+    ipc_perfect_l2: float
+    ipc_perfect_mem: float
+
+    @property
+    def l2_stall_fraction(self) -> float:
+        """Fraction of time spent waiting for L2 misses."""
+        return (self.ipc_perfect_l2 - self.ipc_real) / self.ipc_perfect_l2
+
+    @property
+    def memory_stall_fraction(self) -> float:
+        """Fraction of performance lost to the whole memory system."""
+        return (self.ipc_perfect_mem - self.ipc_real) / self.ipc_perfect_mem
+
+    @property
+    def l1_stall_fraction(self) -> float:
+        """Time waiting for L1-to-L2 fills."""
+        return self.memory_stall_fraction - self.l2_stall_fraction
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    rows: Tuple[Figure1Row, ...]
+
+    def _fractions(self) -> Tuple[float, float, float]:
+        h_real = harmonic_mean([r.ipc_real for r in self.rows])
+        h_l2 = harmonic_mean([r.ipc_perfect_l2 for r in self.rows])
+        h_mem = harmonic_mean([r.ipc_perfect_mem for r in self.rows])
+        l2_frac = (h_l2 - h_real) / h_l2
+        mem_frac = (h_mem - h_real) / h_mem
+        return l2_frac, mem_frac - l2_frac, 1.0 - mem_frac
+
+    @property
+    def mean_l2_stall_fraction(self) -> float:
+        """Paper: 57% of time servicing L2 misses."""
+        return self._fractions()[0]
+
+    @property
+    def mean_l1_stall_fraction(self) -> float:
+        """Paper: 12% of time servicing L1 misses."""
+        return self._fractions()[1]
+
+    @property
+    def mean_compute_fraction(self) -> float:
+        """Paper: 31% of time doing useful computation."""
+        return self._fractions()[2]
+
+
+def run(profile: Optional[Profile] = None) -> Figure1Result:
+    """Simulate real / perfect-L2 / perfect-memory for every benchmark."""
+    profile = profile or active_profile()
+    real_cfg = base_4ch_64b()
+    l2_cfg = replace(real_cfg, perfect_l2=True)
+    mem_cfg = replace(real_cfg, perfect_memory=True)
+    rows: List[Figure1Row] = []
+    for name in profile.benchmarks:
+        rows.append(
+            Figure1Row(
+                benchmark=name,
+                ipc_real=run_benchmark(name, real_cfg, profile).ipc,
+                ipc_perfect_l2=run_benchmark(name, l2_cfg, profile).ipc,
+                ipc_perfect_mem=run_benchmark(name, mem_cfg, profile).ipc,
+            )
+        )
+    # Figure 1 orders benchmarks by L2 stall fraction.
+    rows.sort(key=lambda r: r.l2_stall_fraction, reverse=True)
+    return Figure1Result(rows=tuple(rows))
+
+
+def render(result: Figure1Result, chart: bool = True) -> str:
+    table = format_table(
+        ["benchmark", "IPC real", "IPC perfect-L2", "IPC perfect-mem",
+         "L2-miss time", "L1-miss time"],
+        [
+            (r.benchmark, r.ipc_real, r.ipc_perfect_l2, r.ipc_perfect_mem,
+             r.l2_stall_fraction, r.l1_stall_fraction)
+            for r in result.rows
+        ],
+        title="Figure 1 — processor performance for SPEC2000 (synthetic stand-ins)",
+    )
+    summary = (
+        f"\nsuite (harmonic mean): {result.mean_l2_stall_fraction:.0%} L2-miss time, "
+        f"{result.mean_l1_stall_fraction:.0%} L1-miss time, "
+        f"{result.mean_compute_fraction:.0%} compute   "
+        f"(paper: 57% / 12% / 31%)"
+    )
+    text = table + summary
+    if chart:
+        from repro.experiments.charts import figure1_chart
+
+        text += "\n\n" + figure1_chart(result.rows)
+    return text
+
+
+if __name__ == "__main__":
+    print(render(run()))

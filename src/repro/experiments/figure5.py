@@ -1,0 +1,129 @@
+"""Figure 5: overall performance of tuned scheduled region prefetching.
+
+For the ten benchmarks whose performance improves 10%+ (applu, equake,
+facerec, fma3d, gap, mesa, mgrid, parser, swim, wupwise), six targets:
+
+* 4ch/64B with the standard (base) mapping,
+* 4ch/64B + XOR mapping,
+* 4ch/64B + XOR + scheduled LIFO 4KB region prefetching,
+* 8ch/256B + XOR,
+* 8ch/256B + XOR + prefetching,
+* perfect L2.
+
+Headline shapes (Section 4.3): XOR gives these benchmarks a mean 33%
+speedup; prefetching adds a further 43%; 4-channel prefetching beats
+the 8-channel non-prefetching system on 8 of 10; the 8ch/256B+PF system
+comes within 10% of perfect-L2 for 8 of 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.core.presets import (
+    base_4ch_64b,
+    prefetch_4ch_64b,
+    prefetch_8ch_256b,
+    xor_4ch_64b,
+    xor_8ch_256b,
+)
+from repro.experiments.common import (
+    Profile,
+    active_profile,
+    format_table,
+    harmonic_mean,
+    run_benchmark,
+    speedup,
+)
+from repro.workloads import FIGURE5_WINNERS
+
+__all__ = ["TARGETS", "Figure5Result", "run", "render"]
+
+TARGETS = ("4ch_base", "4ch_xor", "4ch_xor_pf", "8ch_xor", "8ch_xor_pf", "perfect_l2")
+
+
+def _configs():
+    return {
+        "4ch_base": base_4ch_64b(),
+        "4ch_xor": xor_4ch_64b(),
+        "4ch_xor_pf": prefetch_4ch_64b(),
+        "8ch_xor": xor_8ch_256b(),
+        "8ch_xor_pf": prefetch_8ch_256b(),
+        "perfect_l2": replace(xor_4ch_64b(), perfect_l2=True),
+    }
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    #: IPC per (benchmark, target).
+    ipc: Dict[Tuple[str, str], float]
+    benchmarks: Tuple[str, ...]
+
+    def mean(self, target: str) -> float:
+        return harmonic_mean([self.ipc[(b, target)] for b in self.benchmarks])
+
+    @property
+    def xor_speedup(self) -> float:
+        """XOR over base mapping on these benchmarks (paper: +33%)."""
+        return speedup(self.mean("4ch_xor"), self.mean("4ch_base"))
+
+    @property
+    def prefetch_speedup(self) -> float:
+        """Prefetching over the XOR baseline (paper: +43%)."""
+        return speedup(self.mean("4ch_xor_pf"), self.mean("4ch_xor"))
+
+    @property
+    def best_speedup_over_base(self) -> float:
+        """8ch/256B + prefetching over the 4ch base (paper: +118%)."""
+        return speedup(self.mean("8ch_xor_pf"), self.mean("4ch_base"))
+
+    @property
+    def pf4_beats_8ch_count(self) -> int:
+        """Benchmarks where 4ch+PF beats 8ch without PF (paper: 8/10)."""
+        return sum(
+            1 for b in self.benchmarks
+            if self.ipc[(b, "4ch_xor_pf")] > self.ipc[(b, "8ch_xor")]
+        )
+
+    @property
+    def within_10pct_of_perfect_count(self) -> int:
+        """Benchmarks where 8ch+PF is within 10% of perfect L2 (paper: 8/10)."""
+        return sum(
+            1 for b in self.benchmarks
+            if self.ipc[(b, "8ch_xor_pf")] >= 0.9 * self.ipc[(b, "perfect_l2")]
+        )
+
+
+def run(profile: Optional[Profile] = None) -> Figure5Result:
+    profile = profile or active_profile()
+    benchmarks = tuple(b for b in FIGURE5_WINNERS if b in profile.benchmarks) or FIGURE5_WINNERS
+    ipc: Dict[Tuple[str, str], float] = {}
+    for target, config in _configs().items():
+        for name in benchmarks:
+            ipc[(name, target)] = run_benchmark(name, config, profile).ipc
+    return Figure5Result(ipc=ipc, benchmarks=benchmarks)
+
+
+def render(result: Figure5Result) -> str:
+    table = format_table(
+        ["benchmark"] + list(TARGETS),
+        [
+            [b] + [f"{result.ipc[(b, t)]:.3f}" for t in TARGETS]
+            for b in result.benchmarks
+        ],
+        title="Figure 5 — tuned scheduled region prefetching (IPC)",
+    )
+    summary = (
+        f"\nXOR speedup {result.xor_speedup:+.1%} (paper +33%); "
+        f"prefetch speedup {result.prefetch_speedup:+.1%} (paper +43%); "
+        f"8ch/256B+PF over 4ch base {result.best_speedup_over_base:+.1%} (paper +118%)"
+        f"\n4ch+PF beats 8ch-noPF on {result.pf4_beats_8ch_count}/{len(result.benchmarks)} "
+        f"(paper 8/10); 8ch+PF within 10% of perfect L2 on "
+        f"{result.within_10pct_of_perfect_count}/{len(result.benchmarks)} (paper 8/10)"
+    )
+    return table + summary
+
+
+if __name__ == "__main__":
+    print(render(run()))

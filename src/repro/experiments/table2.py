@@ -1,0 +1,74 @@
+"""Table 2: channel width vs. best block size (Section 3.3).
+
+Harmonic-mean IPC over the suite for each (physical channel count,
+L2 block size) pair, holding the total number of DRDRAM devices
+constant.  The paper finds the performance point moving to larger
+blocks as channels widen — 256B at four channels, 512B at eight — and
+peak performance at 1KB blocks on an (impractical) 32-channel system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.presets import base_4ch_64b
+from repro.experiments.common import (
+    Profile,
+    active_profile,
+    format_table,
+    harmonic_mean,
+    run_benchmark,
+)
+
+__all__ = ["Table2Result", "run", "render", "DEFAULT_CHANNELS", "DEFAULT_BLOCKS"]
+
+DEFAULT_CHANNELS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+DEFAULT_BLOCKS: Tuple[int, ...] = (64, 128, 256, 512, 1024, 2048)
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    #: harmonic-mean IPC indexed by (channels, block size).
+    mean_ipc: Dict[Tuple[int, int], float]
+    channels: Tuple[int, ...]
+    blocks: Tuple[int, ...]
+
+    def best_block(self, channels: int) -> int:
+        """Performance-point block size for a channel count."""
+        return max(self.blocks, key=lambda b: self.mean_ipc[(channels, b)])
+
+
+def run(
+    profile: Optional[Profile] = None,
+    channels: Tuple[int, ...] = DEFAULT_CHANNELS,
+    blocks: Tuple[int, ...] = DEFAULT_BLOCKS,
+) -> Table2Result:
+    profile = profile or active_profile()
+    mean_ipc: Dict[Tuple[int, int], float] = {}
+    for ch in channels:
+        for block in blocks:
+            config = base_4ch_64b().with_channels(ch).with_block_size(block)
+            ipcs = [run_benchmark(name, config, profile).ipc for name in profile.benchmarks]
+            mean_ipc[(ch, block)] = harmonic_mean(ipcs)
+    return Table2Result(mean_ipc=mean_ipc, channels=channels, blocks=blocks)
+
+
+def render(result: Table2Result) -> str:
+    rows = []
+    for ch in result.channels:
+        rows.append(
+            [f"{ch} ch"]
+            + [f"{result.mean_ipc[(ch, b)]:.3f}" for b in result.blocks]
+            + [f"best={result.best_block(ch)}B"]
+        )
+    table = format_table(
+        ["channels"] + [f"{b}B" for b in result.blocks] + ["perf point"],
+        rows,
+        title="Table 2 — harmonic-mean IPC vs. channel width and block size",
+    )
+    return table + "\n(paper: perf point 256B at 4ch, 512B at 8ch, growing with width)"
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,85 @@
+"""Table 3: prefetch insertion priority on the LRU chain (Section 4.1).
+
+Region prefetches are loaded into the L2's recency chain at one of four
+positions (MRU / SMRU / SLRU / LRU).  The paper splits the suite into
+high-accuracy (>20%) and low-accuracy benchmarks and reports, for each
+insertion point, the class's mean prefetch accuracy and the
+harmonic-mean-IPC speedup relative to MRU insertion.  Low-priority
+insertion barely moves accuracy but removes most of the pollution:
+MRU insertion costs the low-accuracy class 33% relative to LRU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.cache.replacement import INSERTION_PRIORITIES
+from repro.core.presets import prefetch_4ch_64b
+from repro.experiments.common import (
+    Profile,
+    active_profile,
+    format_table,
+    harmonic_mean,
+    run_benchmark,
+)
+from repro.workloads import HIGH_ACCURACY, LOW_ACCURACY
+
+__all__ = ["Table3Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    #: mean prefetch accuracy per (class name, insertion priority).
+    accuracy: Dict[Tuple[str, str], float]
+    #: harmonic-mean IPC per (class name, insertion priority).
+    mean_ipc: Dict[Tuple[str, str], float]
+    priorities: Tuple[str, ...]
+
+    def speedup_vs_mru(self, klass: str, priority: str) -> float:
+        return self.mean_ipc[(klass, priority)] / self.mean_ipc[(klass, "mru")] - 1.0
+
+
+def run(profile: Optional[Profile] = None) -> Table3Result:
+    profile = profile or active_profile()
+    classes = {
+        "high": [b for b in profile.benchmarks if b in HIGH_ACCURACY],
+        "low": [b for b in profile.benchmarks if b in LOW_ACCURACY],
+    }
+    accuracy: Dict[Tuple[str, str], float] = {}
+    mean_ipc: Dict[Tuple[str, str], float] = {}
+    for priority in INSERTION_PRIORITIES:
+        config = prefetch_4ch_64b().with_prefetch(insertion=priority)
+        for klass, names in classes.items():
+            if not names:
+                continue
+            stats = [run_benchmark(name, config, profile) for name in names]
+            accuracy[(klass, priority)] = sum(s.prefetch_accuracy for s in stats) / len(stats)
+            mean_ipc[(klass, priority)] = harmonic_mean([s.ipc for s in stats])
+    return Table3Result(accuracy=accuracy, mean_ipc=mean_ipc, priorities=INSERTION_PRIORITIES)
+
+
+def render(result: Table3Result) -> str:
+    rows = []
+    for klass in ("high", "low"):
+        if (klass, "mru") not in result.mean_ipc:
+            continue
+        rows.append(
+            [f"{klass}-accuracy"]
+            + [f"{result.accuracy[(klass, p)]:.1%}" for p in result.priorities]
+            + [f"{result.speedup_vs_mru(klass, p):+.1%}" for p in result.priorities]
+        )
+    table = format_table(
+        ["class"] + [f"acc@{p}" for p in result.priorities]
+        + [f"spd@{p}" for p in result.priorities],
+        rows,
+        title="Table 3 — prefetch insertion priority (accuracy / speedup vs MRU)",
+    )
+    return table + (
+        "\n(paper: accuracy nearly flat across insertion points; LRU insertion"
+        "\n recovers ~33% over MRU for the low-accuracy class)"
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

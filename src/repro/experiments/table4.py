@@ -1,0 +1,94 @@
+"""Table 4: comparison of prefetch schemes (Section 4.2).
+
+Four systems, all with the XOR mapping, 64B blocks, four channels:
+
+* **base** — no prefetching;
+* **FIFO prefetch** — naive unscheduled region prefetching: every
+  region block issues immediately, competing with demand misses;
+* **scheduled FIFO** — prefetches issue only into idle channel time,
+  FIFO region priority;
+* **scheduled LIFO** — the paper's best: LIFO priority with re-promote
+  on demand miss plus bank-aware (open-row-first) issue.
+
+Paper values: L2 miss rate 36.4 / 10.9 / 18.3 / 17.0 %, mean L2 miss
+latency 134 / 980 / 140 / 141 cycles, normalized IPC 1.00 / 0.33 /
+1.12 / 1.16.  The headline shape: unscheduled prefetching reaches the
+lowest miss rate but destroys latency and performance; scheduling keeps
+nearly all the miss-rate benefit at almost no latency cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.presets import (
+    prefetch_4ch_64b,
+    scheduled_fifo_prefetch_4ch_64b,
+    unscheduled_prefetch_4ch_64b,
+    xor_4ch_64b,
+)
+from repro.experiments.common import (
+    Profile,
+    active_profile,
+    format_table,
+    harmonic_mean,
+    run_benchmark,
+)
+
+__all__ = ["SCHEMES", "Table4Result", "run", "render"]
+
+SCHEMES = ("base", "fifo_prefetch", "scheduled_fifo", "scheduled_lifo")
+
+
+def _configs():
+    return {
+        "base": xor_4ch_64b(),
+        "fifo_prefetch": unscheduled_prefetch_4ch_64b(),
+        "scheduled_fifo": scheduled_fifo_prefetch_4ch_64b(),
+        "scheduled_lifo": prefetch_4ch_64b(),
+    }
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    #: arithmetic-mean L2 miss rate per scheme (paper row 1).
+    miss_rate: Dict[str, float]
+    #: arithmetic-mean L2 miss latency in cycles per scheme (paper row 2).
+    miss_latency: Dict[str, float]
+    #: harmonic-mean IPC normalized to the base scheme (paper row 3).
+    normalized_ipc: Dict[str, float]
+
+
+def run(profile: Optional[Profile] = None) -> Table4Result:
+    profile = profile or active_profile()
+    miss_rate: Dict[str, float] = {}
+    miss_latency: Dict[str, float] = {}
+    ipc: Dict[str, float] = {}
+    for scheme, config in _configs().items():
+        stats = [run_benchmark(name, config, profile) for name in profile.benchmarks]
+        miss_rate[scheme] = sum(s.l2_miss_rate for s in stats) / len(stats)
+        miss_latency[scheme] = sum(s.avg_l2_miss_latency for s in stats) / len(stats)
+        ipc[scheme] = harmonic_mean([s.ipc for s in stats])
+    normalized = {scheme: ipc[scheme] / ipc["base"] for scheme in SCHEMES}
+    return Table4Result(miss_rate=miss_rate, miss_latency=miss_latency, normalized_ipc=normalized)
+
+
+def render(result: Table4Result) -> str:
+    table = format_table(
+        ["metric"] + list(SCHEMES),
+        [
+            ["L2 miss rate"] + [f"{result.miss_rate[s]:.1%}" for s in SCHEMES],
+            ["L2 miss latency (cyc)"] + [f"{result.miss_latency[s]:.0f}" for s in SCHEMES],
+            ["normalized IPC"] + [f"{result.normalized_ipc[s]:.2f}" for s in SCHEMES],
+        ],
+        title="Table 4 — comparison of prefetch schemes (SPEC2000 mean)",
+    )
+    return table + (
+        "\n(paper: miss rate 36.4/10.9/18.3/17.0%;"
+        " latency 134/980/140/141 cyc; IPC 1.00/0.33/1.12/1.16)"
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,100 @@
+"""Section 4.4: effect of region prefetching on channel utilization.
+
+The paper reports mean command/data channel utilizations of 28%/17%
+without prefetching, rising to 54%/42% with scheduled region
+prefetching (1.9x and 2.5x), and per-benchmark extremes: swim's command
+channel reaching 96% (99% prefetch accuracy, 49% execution-time cut)
+vs. twolf reaching 90% for a 2% gain at 7% accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.presets import prefetch_4ch_64b, xor_4ch_64b
+from repro.experiments.common import (
+    Profile,
+    active_profile,
+    format_table,
+    run_benchmark,
+)
+
+__all__ = ["UtilizationRow", "UtilizationResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class UtilizationRow:
+    benchmark: str
+    cmd_base: float
+    data_base: float
+    cmd_pf: float
+    data_pf: float
+    prefetch_accuracy: float
+    ipc_gain: float
+
+
+@dataclass(frozen=True)
+class UtilizationResult:
+    rows: Tuple[UtilizationRow, ...]
+
+    def _mean(self, attr: str) -> float:
+        return sum(getattr(r, attr) for r in self.rows) / len(self.rows)
+
+    @property
+    def mean_cmd_base(self) -> float:
+        return self._mean("cmd_base")
+
+    @property
+    def mean_data_base(self) -> float:
+        return self._mean("data_base")
+
+    @property
+    def mean_cmd_pf(self) -> float:
+        return self._mean("cmd_pf")
+
+    @property
+    def mean_data_pf(self) -> float:
+        return self._mean("data_pf")
+
+
+def run(profile: Optional[Profile] = None) -> UtilizationResult:
+    profile = profile or active_profile()
+    rows = []
+    for name in profile.benchmarks:
+        base = run_benchmark(name, xor_4ch_64b(), profile)
+        pf = run_benchmark(name, prefetch_4ch_64b(), profile)
+        rows.append(
+            UtilizationRow(
+                benchmark=name,
+                cmd_base=base.command_channel_utilization,
+                data_base=base.data_channel_utilization,
+                cmd_pf=pf.command_channel_utilization,
+                data_pf=pf.data_channel_utilization,
+                prefetch_accuracy=pf.prefetch_accuracy,
+                ipc_gain=pf.ipc / base.ipc - 1.0,
+            )
+        )
+    return UtilizationResult(rows=tuple(rows))
+
+
+def render(result: UtilizationResult) -> str:
+    table = format_table(
+        ["benchmark", "cmd base", "data base", "cmd +PF", "data +PF", "pf acc", "IPC gain"],
+        [
+            (r.benchmark, r.cmd_base, r.data_base, r.cmd_pf, r.data_pf,
+             r.prefetch_accuracy, f"{r.ipc_gain:+.1%}")
+            for r in sorted(result.rows, key=lambda r: r.cmd_pf, reverse=True)
+        ],
+        title="Section 4.4 — Rambus channel utilization",
+    )
+    summary = (
+        f"\nmean cmd {result.mean_cmd_base:.0%}->{result.mean_cmd_pf:.0%} "
+        f"(paper 28%->54%); mean data {result.mean_data_base:.0%}->"
+        f"{result.mean_data_pf:.0%} (paper 17%->42%)"
+    )
+    return table + summary
+
+
+if __name__ == "__main__":
+    print(render(run()))

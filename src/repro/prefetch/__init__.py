@@ -1,0 +1,7 @@
+"""Prefetching: scheduled region prefetch engine and baselines."""
+
+from repro.prefetch.engine import RegionPrefetcher
+from repro.prefetch.queue import PrefetchQueue
+from repro.prefetch.region import RegionEntry
+
+__all__ = ["PrefetchQueue", "RegionEntry", "RegionPrefetcher"]

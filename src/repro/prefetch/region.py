@@ -1,0 +1,80 @@
+"""Prefetch region entries (Section 4, Figure 4).
+
+A region entry spans an aligned ``region_bytes`` region of physical
+memory and carries a bit vector with one bit per L2 block.  A bit is
+set when the block is being prefetched, already resident in the cache,
+or was the demand miss itself; prefetch candidates are produced in
+linear order starting with the block after the demand miss, wrapping
+around the region (Section 4 assumption (2)).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["RegionEntry"]
+
+
+class RegionEntry:
+    """One queued prefetch region, represented as a bitmap."""
+
+    __slots__ = ("base", "block_bytes", "num_blocks", "bitmap", "origin", "_scan")
+
+    def __init__(self, base: int, region_bytes: int, block_bytes: int, miss_addr: int) -> None:
+        if base % region_bytes != 0:
+            raise ValueError(f"region base {base:#x} not aligned to {region_bytes}")
+        self.base = base
+        self.block_bytes = block_bytes
+        self.num_blocks = region_bytes // block_bytes
+        self.bitmap = 0
+        #: block index of the original demand miss; scanning starts just after.
+        self.origin = (miss_addr - base) // block_bytes
+        self._scan = 0  # offsets 1..num_blocks-1 relative to origin already scanned
+        self.mark_block(miss_addr)
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.num_blocks * self.block_bytes
+
+    def block_index(self, addr: int) -> int:
+        if not self.contains(addr):
+            raise ValueError(f"address {addr:#x} outside region at {self.base:#x}")
+        return (addr - self.base) // self.block_bytes
+
+    def block_addr(self, index: int) -> int:
+        return self.base + index * self.block_bytes
+
+    def mark_block(self, addr: int) -> None:
+        """Set the bit for ``addr`` (in cache, in flight, or demand-missed)."""
+        self.bitmap |= 1 << self.block_index(addr)
+
+    def is_marked(self, index: int) -> bool:
+        return bool(self.bitmap & (1 << index))
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every block has been processed or marked."""
+        all_set = (1 << self.num_blocks) - 1
+        return self.bitmap == all_set or self._scan >= self.num_blocks - 1
+
+    def next_candidate(self) -> Optional[int]:
+        """Next unmarked block index in linear wrap order, or None.
+
+        Does not mark the block; the caller marks it once the prefetch
+        actually issues (or once it discovers the block is resident).
+        """
+        while self._scan < self.num_blocks - 1:
+            index = (self.origin + 1 + self._scan) % self.num_blocks
+            if not self.is_marked(index):
+                return index
+            self._scan += 1
+        return None
+
+    def advance(self) -> None:
+        """Consume the candidate most recently returned."""
+        self._scan += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RegionEntry(base={self.base:#x}, origin={self.origin}, "
+            f"bitmap={self.bitmap:#x}, scan={self._scan})"
+        )

@@ -1,0 +1,114 @@
+"""Software-prefetch trace utilities (Section 4.7).
+
+The workload generators emit compiler-style SWPF records inline for the
+streaming benchmarks the Compaq compiler helped (mgrid, swim, wupwise)
+plus overhead cases (galgel).  These helpers manipulate that channel:
+
+* :func:`strip_software_prefetches` — remove all SWPF records,
+  folding their instruction gaps into the following record (exactly
+  what the paper's simulator does when it "discards these instructions
+  as they are fetched"; the simulator also supports this natively via
+  ``SystemConfig.software_prefetch=False``, which keeps the gap
+  accounting identical — this helper exists for trace-level analysis).
+* :func:`insert_software_prefetches` — a simple compiler pass: detect
+  constant-stride load sites in a trace and insert a SWPF
+  ``distance`` bytes ahead each time the site crosses a cache block.
+* :func:`software_prefetch_stats` — count SWPF records and the
+  fraction of subsequent loads they cover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.cache.hierarchy import AccessKind
+from repro.cpu.trace import Trace, TraceBuilder
+
+__all__ = [
+    "strip_software_prefetches",
+    "insert_software_prefetches",
+    "software_prefetch_stats",
+    "SoftwarePrefetchStats",
+]
+
+
+def strip_software_prefetches(trace: Trace) -> Trace:
+    """Remove SWPF records, preserving the instruction stream length."""
+    builder = TraceBuilder(name=f"{trace.name}:nosw", description=trace.description)
+    carry_gap = 0
+    for kind, gap, addr, dep, pc in trace.records():
+        if kind == AccessKind.SWPF:
+            carry_gap += gap
+            continue
+        builder.append(kind, gap + carry_gap, addr, dep, pc)
+        carry_gap = 0
+    return builder.build()
+
+
+def insert_software_prefetches(trace: Trace, distance: int = 512, min_confidence: int = 2) -> Trace:
+    """Compiler-style pass: add SWPF records ahead of strided load sites.
+
+    Tracks each PC's last address and stride; once a site shows
+    ``min_confidence`` consecutive identical strides, every block
+    crossing emits a prefetch ``distance`` bytes ahead.
+    """
+    builder = TraceBuilder(name=f"{trace.name}:sw", description=trace.description)
+    last: Dict[int, int] = {}
+    stride: Dict[int, int] = {}
+    confidence: Dict[int, int] = {}
+    last_block: Dict[int, int] = {}
+    for kind, gap, addr, dep, pc in trace.records():
+        if kind == AccessKind.LOAD:
+            prev = last.get(pc)
+            if prev is not None:
+                s = addr - prev
+                if s != 0 and s == stride.get(pc):
+                    confidence[pc] = confidence.get(pc, 0) + 1
+                else:
+                    stride[pc] = s
+                    confidence[pc] = 1 if s else 0
+            last[pc] = addr
+            block = addr // 64
+            if (
+                confidence.get(pc, 0) >= min_confidence
+                and block != last_block.get(pc)
+                and stride.get(pc, 0) > 0
+            ):
+                builder.software_prefetch(gap, addr + distance, pc=pc)
+                gap = 0
+            last_block[pc] = block
+        builder.append(kind, gap, addr, dep, pc)
+    return builder.build()
+
+
+@dataclass(frozen=True)
+class SoftwarePrefetchStats:
+    """Static coverage statistics of a trace's SWPF records."""
+
+    swpf_records: int
+    load_records: int
+    covered_loads: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of loads whose block was software-prefetched earlier."""
+        return self.covered_loads / self.load_records if self.load_records else 0.0
+
+
+def software_prefetch_stats(trace: Trace, block_bytes: int = 64) -> SoftwarePrefetchStats:
+    """Count SWPF records and the loads they cover (trace-static)."""
+    kinds = trace.kinds
+    swpf = int(np.sum(kinds == AccessKind.SWPF))
+    loads = int(np.sum(kinds == AccessKind.LOAD))
+    prefetched_blocks = set()
+    covered = 0
+    for kind, _gap, addr, _dep, _pc in trace.records():
+        block = addr // block_bytes
+        if kind == AccessKind.SWPF:
+            prefetched_blocks.add(block)
+        elif kind == AccessKind.LOAD and block in prefetched_blocks:
+            covered += 1
+    return SoftwarePrefetchStats(swpf_records=swpf, load_records=loads, covered_loads=covered)

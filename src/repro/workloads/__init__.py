@@ -1,0 +1,40 @@
+"""Synthetic SPEC CPU2000 workload stand-ins (see DESIGN.md §2)."""
+
+from repro.workloads.registry import build_components, build_trace
+from repro.workloads.spec import (
+    BENCHMARKS,
+    FIGURE5_WINNERS,
+    HIGH_ACCURACY,
+    LOW_ACCURACY,
+    PROFILES,
+    ComponentSpec,
+    WorkloadProfile,
+    profile,
+)
+from repro.workloads.synthetic import (
+    Component,
+    HotColdComponent,
+    PointerChaseComponent,
+    RandomComponent,
+    StreamComponent,
+    StridedComponent,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "Component",
+    "ComponentSpec",
+    "FIGURE5_WINNERS",
+    "HIGH_ACCURACY",
+    "HotColdComponent",
+    "LOW_ACCURACY",
+    "PROFILES",
+    "PointerChaseComponent",
+    "RandomComponent",
+    "StreamComponent",
+    "StridedComponent",
+    "WorkloadProfile",
+    "build_components",
+    "build_trace",
+    "profile",
+]

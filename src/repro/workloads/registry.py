@@ -1,0 +1,209 @@
+"""Trace synthesis from workload profiles.
+
+``build_trace(name, memory_refs)`` lays the profile's components out in
+a non-overlapping physical address space, then draws ``memory_refs``
+references: per record a component is chosen by weight, the component
+supplies the address/dependence, the profile's write fraction picks
+load vs. store, and a geometric gap models the non-memory instructions
+in between.  Instruction-fetch records walk a synthetic code footprint
+(mostly sequential, occasional branches) every ``ifetch_every``
+records.  Generation is deterministic given (name, memory_refs, seed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.cpu.trace import Trace, TraceBuilder
+from repro.workloads.spec import ComponentSpec, WorkloadProfile, profile
+from repro.workloads.synthetic import (
+    Component,
+    HotColdComponent,
+    PointerChaseComponent,
+    RandomComponent,
+    StreamComponent,
+    StridedComponent,
+)
+
+__all__ = [
+    "build_trace",
+    "build_warmup_trace",
+    "build_components",
+    "CODE_BASE",
+    "PRETOUCH_CAP",
+    "PRETOUCH_SKIP_ABOVE",
+]
+
+MB = 1 << 20
+
+#: synthetic code segment lives at the top of the 256MB physical space.
+CODE_BASE = 224 * MB
+
+#: branch probability of the synthetic instruction-fetch walker.
+_BRANCH_PROBABILITY = 0.10
+
+
+def build_components(prof: WorkloadProfile) -> List[Component]:
+    """Instantiate the profile's components with a disjoint data layout."""
+    components: List[Component] = []
+    base = 0
+    for cid, spec in enumerate(prof.components):
+        components.append(_instantiate(spec, cid, base))
+        # round up to the next MB and leave a guard megabyte
+        base += ((spec.footprint + MB - 1) // MB + 1) * MB
+    if base > CODE_BASE:
+        raise ValueError(f"profile {prof.name} data footprint exceeds the physical space")
+    return components
+
+
+def _instantiate(spec: ComponentSpec, cid: int, base: int) -> Component:
+    if spec.kind == "stream":
+        return StreamComponent(
+            cid, base, spec.footprint,
+            streams=spec.streams, stride=spec.stride, dep=spec.dep,
+            swpf_distance=spec.swpf_distance,
+        )
+    if spec.kind == "strided":
+        return StridedComponent(
+            cid, base, spec.footprint,
+            stride=spec.stride, streams=spec.streams, dep=spec.dep,
+        )
+    if spec.kind == "pointer":
+        return PointerChaseComponent(
+            cid, base, spec.footprint,
+            node_bytes=spec.node_bytes, parallel_chains=spec.parallel_chains, dep=spec.dep,
+        )
+    if spec.kind == "random":
+        return RandomComponent(cid, base, spec.footprint, granule=spec.granule)
+    if spec.kind == "hotcold":
+        return HotColdComponent(
+            cid, base, spec.footprint,
+            hot_bytes=spec.hot_bytes, hot_fraction=spec.hot_fraction,
+            warm_bytes=spec.warm_bytes, warm_fraction=spec.warm_fraction,
+            granule=spec.granule,
+        )
+    raise ValueError(f"unknown component kind {spec.kind!r}")
+
+
+#: per-component cap on the footprint walked by the warm-up pretouch.
+PRETOUCH_CAP = 3 * MB
+
+#: components larger than this are assumed never cache-resident and are
+#: not pretouched at all (their references miss regardless of history).
+PRETOUCH_SKIP_ABOVE = 4 * MB
+
+
+#: dedicated address region used to fill the L2 with dirty data during
+#: warm-up (no workload component ever touches it).
+FILLER_BASE = 160 * MB
+
+#: filler stores write this multiple of the L2 capacity (bounded below).
+FILLER_FACTOR = 1.25
+FILLER_MAX = 24 * MB
+
+
+def build_warmup_trace(name: str, seed: int = 0, l2_bytes: int = 1 << 20) -> Trace:
+    """Initialization phase: touch the data, fill the cache dirty.
+
+    Real programs begin by writing their data structures; synthesizing
+    that phase explicitly lets short steady-state traces start from
+    warm caches, so residency is decided by cache capacity rather than
+    by how long a random walk takes to visit every block.  The phase
+    has four parts, in LRU-significant order:
+
+    1. a store sweep over each component's (capped) footprint —
+       components above ``PRETOUCH_SKIP_ABOVE`` are skipped, nothing
+       that big stays resident anyway;
+    2. a half-dirty sweep over a dedicated *filler* region sized past
+       the L2 capacity, so the cache enters the measured window full
+       and steady-state fills immediately produce writeback traffic at
+       a realistic rate (the DRAM mapping study depends on it);
+    3. a clean re-touch of each component's resident set (after the
+       cold sweeps, which would otherwise have evicted it);
+    4. an instruction-fetch walk over the code footprint.
+    """
+    prof = profile(name)
+    components = build_components(prof)
+    builder = TraceBuilder(name=f"{name}:warmup", description="initialization pass")
+    for comp in components:
+        if comp.footprint > PRETOUCH_SKIP_ABOVE:
+            continue
+        span = min(comp.footprint, PRETOUCH_CAP)
+        for offset in range(0, span, 64):
+            builder.store(0, comp.base + offset, pc=comp.cid << 8)
+    filler_span = min(int(l2_bytes * FILLER_FACTOR), FILLER_MAX)
+    for offset in range(0, filler_span, 64):
+        # Alternate dirty/clean so steady-state evictions write back at
+        # a realistic ~50% rate rather than on every fill.
+        if (offset // 64) % 2:
+            builder.store(0, FILLER_BASE + offset, pc=0xFFFE)
+        else:
+            builder.load(0, FILLER_BASE + offset, pc=0xFFFE)
+    for comp in components:
+        resident = _resident_span(comp)
+        if resident:
+            for offset in range(0, resident, 64):
+                builder.load(0, comp.base + offset, pc=comp.cid << 8)
+    for offset in range(0, max(prof.code_footprint, 4096), 64):
+        builder.ifetch(CODE_BASE + offset, pc=0xFFFF)
+    _ = seed  # layout is deterministic; kept for signature symmetry
+    return builder.build()
+
+
+def _resident_span(comp: Component) -> int:
+    """Bytes at the component's base expected to stay cache-resident."""
+    if isinstance(comp, HotColdComponent):
+        return min(comp.warm_bytes + comp.hot_bytes, comp.footprint)
+    if isinstance(comp, (StreamComponent, StridedComponent)):
+        return comp.footprint if comp.footprint <= 1 << 20 else 0
+    return 0
+
+
+def build_trace(name: str, memory_refs: int, seed: int = 0) -> Trace:
+    """Synthesize a trace for benchmark ``name`` with ``memory_refs`` records."""
+    if memory_refs < 1:
+        raise ValueError("memory_refs must be >= 1")
+    prof = profile(name)
+    rng = np.random.default_rng((hash(name) & 0xFFFF_FFFF) ^ (seed * 0x9E3779B9) & 0xFFFF_FFFF)
+    components = build_components(prof)
+    weights = np.array([spec.weight for spec in prof.components], dtype=float)
+    weights /= weights.sum()
+    cumulative = np.cumsum(weights)
+
+    builder = TraceBuilder(name=name, description=prof.description)
+    gap_p = 1.0 / (prof.mean_gap + 1.0)
+
+    # Pre-draw the bulk random streams (fast path).
+    picks = rng.random(memory_refs)
+    writes = rng.random(memory_refs) < prof.write_fraction
+    gaps = rng.geometric(gap_p, size=memory_refs) - 1
+
+    code_cursor = 0
+    code_span = max(prof.code_footprint, 4096)
+
+    for i in range(memory_refs):
+        comp = components[int(np.searchsorted(cumulative, picks[i], side="right"))]
+        if comp.cid >= len(components):  # pragma: no cover - defensive
+            comp = components[-1]
+        addr, dep, swpf, sub = comp.next_ref(rng)
+        # The PC identifies the static access site: component plus
+        # substream (per-PC dependence serialization and PC-indexed
+        # prefetchers both key on it).
+        pc = (comp.cid << 8) | (sub & 0xFF)
+        gap = int(gaps[i])
+        if swpf is not None:
+            builder.software_prefetch(gap, swpf, pc=pc)
+            gap = 0
+        if writes[i] and not dep:
+            builder.store(gap, addr, pc=pc)
+        else:
+            builder.load(gap, addr, dep=dep, pc=pc)
+        if prof.ifetch_every and i % prof.ifetch_every == 0:
+            if rng.random() < _BRANCH_PROBABILITY:
+                code_cursor = int(rng.integers(code_span // 64)) * 64
+            else:
+                code_cursor = (code_cursor + 64) % code_span
+            builder.ifetch(CODE_BASE + code_cursor, pc=0xFFFF)
+    return builder.build()

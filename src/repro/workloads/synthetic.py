@@ -1,0 +1,249 @@
+"""Composable synthetic reference generators.
+
+The paper drove its simulator with 200M-instruction samples of the 26
+SPEC CPU2000 benchmarks.  Without those binaries, each benchmark is
+modelled as a weighted mixture of *components*, each reproducing one
+archetypal memory behaviour:
+
+* :class:`StreamComponent` — parallel sequential streams over large
+  arrays (dense scientific loops: swim, mgrid, applu…).  High spatial
+  locality, high region-prefetch accuracy.
+* :class:`StridedComponent` — streams whose stride skips blocks
+  (record-of-arrays traversals); partial spatial locality.
+* :class:`PointerChaseComponent` — dependent pointer chasing over a
+  large pool (mcf, ammp); each access must wait for the previous load,
+  destroying memory-level parallelism.
+* :class:`RandomComponent` — independent uniform references (hash
+  tables, graph lookups); no spatial locality, pollution-prone.
+* :class:`HotColdComponent` — a small hot working set with occasional
+  cold excursions (integer codes with good cache behaviour).
+
+Components draw addresses; the :class:`repro.workloads.spec` profiles
+assemble them with instruction-gap, write-fraction and code-footprint
+parameters, and optionally emit compiler-style software prefetches
+(Section 4.7).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = [
+    "Component",
+    "StreamComponent",
+    "StridedComponent",
+    "PointerChaseComponent",
+    "RandomComponent",
+    "HotColdComponent",
+]
+
+_BLOCK = 64  # L1/L2 baseline block size; used only for SWPF emission
+
+#: inter-stream placement skew: three 8KB logical DRAM rows plus an
+#: odd sub-row offset (see StreamComponent.__init__ for the rationale).
+_STREAM_SKEW = 3 * 8192 + 712
+
+
+class Component:
+    """Base class: a stateful address source.
+
+    Subclasses implement :meth:`next_ref`, returning
+    ``(addr, dep, swpf_addr, substream)``: ``dep`` marks the access as
+    dependent on the previous load *of the same substream* (the core
+    serializes per-PC), ``swpf_addr`` optionally requests a software
+    prefetch be emitted before the access, and ``substream``
+    distinguishes concurrent streams/chains inside the component.
+    """
+
+    #: identifies the component inside its workload; doubles as the PC
+    #: (stream id) recorded in the trace.
+    cid: int = 0
+
+    def __init__(self, cid: int, base: int, footprint: int) -> None:
+        if footprint <= 0:
+            raise ValueError("footprint must be positive")
+        self.cid = cid
+        self.base = base
+        self.footprint = footprint
+
+    def next_ref(self, rng: np.random.Generator) -> tuple:
+        """Return ``(addr, dep, swpf_addr, substream)``."""
+        raise NotImplementedError
+
+
+class StreamComponent(Component):
+    """``streams`` round-robin sequential cursors over the footprint."""
+
+    def __init__(
+        self,
+        cid: int,
+        base: int,
+        footprint: int,
+        streams: int = 4,
+        stride: int = 8,
+        dep: int = 0,
+        swpf_distance: int = 0,
+    ) -> None:
+        super().__init__(cid, base, footprint)
+        if streams < 1:
+            raise ValueError("streams must be >= 1")
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        self.streams = streams
+        self.stride = stride
+        self.dep = dep
+        self.swpf_distance = swpf_distance
+        self._span = footprint // streams
+        if self._span < stride:
+            raise ValueError("footprint too small for stream count")
+        # Skewed starting offsets: real programs place their arrays at
+        # unrelated offsets, so concurrent streams must not stay
+        # congruent modulo the cache way size (which would alias every
+        # stream onto one set and destroy the hit rates the mixture is
+        # calibrated for).
+        # The skew constant spreads concurrent streams (a) across cache
+        # sets (no way-size congruence), (b) across non-adjacent DRAM
+        # banks (three 8KB logical rows apart, avoiding shared-sense-amp
+        # storms between neighbouring banks), and (c) across block
+        # phases (crossings de-phased rather than bursting together).
+        self._cursors: List[int] = [
+            (s * _STREAM_SKEW // stride) * stride % self._span for s in range(streams)
+        ]
+        self._turn = 0
+        self._last_block: List[int] = [-1] * streams
+
+    def next_ref(self, rng: np.random.Generator) -> tuple:
+        s = self._turn
+        self._turn = (self._turn + 1) % self.streams
+        offset = self._cursors[s]
+        self._cursors[s] = (offset + self.stride) % self._span
+        addr = self.base + s * self._span + offset
+        swpf = None
+        if self.swpf_distance:
+            block = addr // _BLOCK
+            if block != self._last_block[s]:
+                self._last_block[s] = block
+                swpf = self.base + s * self._span + (
+                    (offset + self.swpf_distance) % self._span
+                )
+        return addr, self.dep, swpf, s
+
+
+class StridedComponent(Component):
+    """Block-skipping strides: touches one word per ``stride`` bytes."""
+
+    def __init__(
+        self,
+        cid: int,
+        base: int,
+        footprint: int,
+        stride: int = 512,
+        streams: int = 2,
+        dep: int = 0,
+    ) -> None:
+        super().__init__(cid, base, footprint)
+        self.stride = stride
+        self.streams = streams
+        self.dep = dep
+        self._span = footprint // streams
+        # Same skew rationale as StreamComponent.
+        self._cursors = [(s * _STREAM_SKEW // stride) * stride % self._span for s in range(streams)]
+        self._turn = 0
+
+    def next_ref(self, rng: np.random.Generator) -> tuple:
+        s = self._turn
+        self._turn = (self._turn + 1) % self.streams
+        offset = self._cursors[s]
+        self._cursors[s] = (offset + self.stride) % self._span
+        return self.base + s * self._span + offset, self.dep, None, s
+
+
+class PointerChaseComponent(Component):
+    """Dependent chase across ``footprint // node_bytes`` nodes.
+
+    Addresses follow a per-instance pseudo-random walk; each reference
+    is marked dependent so the core serializes the chain, which is what
+    makes chases latency-bound.  ``parallel_chains`` > 1 interleaves
+    independent chains (mcf walks several lists concurrently), raising
+    memory-level parallelism without adding spatial locality.
+    """
+
+    def __init__(
+        self,
+        cid: int,
+        base: int,
+        footprint: int,
+        node_bytes: int = 64,
+        parallel_chains: int = 1,
+        dep: int = 1,
+    ) -> None:
+        super().__init__(cid, base, footprint)
+        self.node_bytes = node_bytes
+        self.nodes = max(1, footprint // node_bytes)
+        self.parallel_chains = max(1, parallel_chains)
+        self.dep = dep
+        self._turn = 0
+
+    def next_ref(self, rng: np.random.Generator) -> tuple:
+        self._turn = (self._turn + 1) % self.parallel_chains
+        node = int(rng.integers(self.nodes))
+        # Each chain serializes only against itself (the per-PC
+        # dependence tables in the core keep chains independent), so
+        # ``parallel_chains`` bounds the chase's memory-level parallelism.
+        return self.base + node * self.node_bytes, self.dep, None, self._turn
+
+
+class RandomComponent(Component):
+    """Independent uniform references at ``granule`` granularity."""
+
+    def __init__(self, cid: int, base: int, footprint: int, granule: int = 8) -> None:
+        super().__init__(cid, base, footprint)
+        self.granule = granule
+        self._slots = max(1, footprint // granule)
+
+    def next_ref(self, rng: np.random.Generator) -> tuple:
+        slot = int(rng.integers(self._slots))
+        return self.base + slot * self.granule, 0, None, 0
+
+
+class HotColdComponent(Component):
+    """Three-tier locality: L1-resident hot set, L2-resident warm set,
+    cold excursions over the whole footprint.
+
+    Probabilities: ``hot_fraction`` of references land in ``hot_bytes``
+    (sized to fit the L1), ``warm_fraction`` in ``warm_bytes`` (sized
+    against the L2), and the remainder anywhere in the footprint.
+    """
+
+    def __init__(
+        self,
+        cid: int,
+        base: int,
+        footprint: int,
+        hot_bytes: int = 16 * 1024,
+        hot_fraction: float = 0.6,
+        warm_bytes: int = 256 * 1024,
+        warm_fraction: float = 0.3,
+        granule: int = 8,
+    ) -> None:
+        super().__init__(cid, base, footprint)
+        if hot_fraction < 0 or warm_fraction < 0 or hot_fraction + warm_fraction > 1.0:
+            raise ValueError("hot/warm fractions must be non-negative and sum to <= 1")
+        self.hot_bytes = min(hot_bytes, footprint)
+        self.warm_bytes = min(warm_bytes, footprint)
+        self.hot_fraction = hot_fraction
+        self.warm_fraction = warm_fraction
+        self.granule = granule
+
+    def next_ref(self, rng: np.random.Generator) -> tuple:
+        draw = rng.random()
+        if draw < self.hot_fraction:
+            span = self.hot_bytes
+        elif draw < self.hot_fraction + self.warm_fraction:
+            span = self.warm_bytes
+        else:
+            span = self.footprint
+        slot = int(rng.integers(max(1, span // self.granule)))
+        return self.base + slot * self.granule, 0, None, 0

@@ -1,0 +1,98 @@
+"""Unit tests for bank state and shared sense-amp adjacency."""
+
+from repro.dram.bank import Bank, BankArray
+
+
+class TestBank:
+    def test_initially_precharged(self):
+        bank = Bank()
+        assert bank.open_row is None
+        assert bank.busy_until == 0.0
+
+    def test_activate_and_precharge(self):
+        bank = Bank()
+        bank.activate(5)
+        assert bank.open_row == 5
+        bank.precharge()
+        assert bank.open_row is None
+
+    def test_flush_records_lost_row(self):
+        bank = Bank()
+        bank.activate(7)
+        bank.flush_for_neighbour()
+        assert bank.open_row is None
+        assert bank.flushed_row == 7
+
+    def test_flush_noop_when_closed(self):
+        bank = Bank()
+        bank.flush_for_neighbour()
+        assert bank.flushed_row is None
+
+    def test_activate_clears_flush_record(self):
+        bank = Bank()
+        bank.activate(1)
+        bank.flush_for_neighbour()
+        bank.activate(2)
+        assert bank.flushed_row is None
+
+
+class TestBankArray:
+    def test_size(self):
+        array = BankArray(banks_per_device=32, devices=2)
+        assert len(array) == 64
+
+    def test_neighbours_same_device_only(self):
+        """Adjacency is between physical banks n-1/n+1 within a device;
+        logical indices interleave devices in the low bits."""
+        array = BankArray(banks_per_device=32, devices=2)
+        # logical index = (bank << 1) | device
+        idx = (5 << 1) | 1  # bank 5, device 1
+        neighbours = array.neighbours(idx)
+        assert (4 << 1) | 1 in neighbours
+        assert (6 << 1) | 1 in neighbours
+        assert all(n & 1 == 1 for n in neighbours)
+
+    def test_edge_banks_have_one_neighbour(self):
+        array = BankArray(banks_per_device=32, devices=1)
+        assert array.neighbours(0) == [1]
+        assert array.neighbours(31) == [30]
+
+    def test_activation_flushes_neighbours(self):
+        """Figure 2: an access to bank 1 flushes banks 0 and 2."""
+        array = BankArray(banks_per_device=32, devices=1)
+        array.activate(0, 10)
+        array.activate(2, 20)
+        assert array.open_row(0) == 10
+        array.activate(1, 30)
+        assert array.open_row(0) is None
+        assert array.open_row(2) is None
+        assert array.open_row(1) == 30
+
+    def test_only_one_of_adjacent_pair_active(self):
+        array = BankArray(banks_per_device=32, devices=1)
+        for bank in range(32):
+            array.activate(bank, 1)
+        # After sequential activation, no two adjacent banks are open.
+        open_banks = [b for b in range(32) if array.open_row(b) is not None]
+        for a, b in zip(open_banks, open_banks[1:]):
+            assert b - a >= 2
+
+    def test_disabled_sharing_keeps_neighbours_open(self):
+        array = BankArray(banks_per_device=32, devices=1, shared_sense_amps=False)
+        array.activate(0, 10)
+        array.activate(1, 20)
+        assert array.open_row(0) == 10
+        assert array.open_row(1) == 20
+
+    def test_same_physical_bank_different_device_not_neighbours(self):
+        array = BankArray(banks_per_device=32, devices=2)
+        array.activate((5 << 1) | 0, 10)
+        array.activate((6 << 1) | 1, 20)  # bank 6, device 1
+        assert array.open_row((5 << 1) | 0) == 10  # device 0 untouched
+
+    def test_open_banks_count(self):
+        array = BankArray(banks_per_device=32, devices=1)
+        assert array.open_banks() == 0
+        array.activate(0, 1)
+        array.activate(4, 1)
+        assert array.open_banks() == 2

@@ -1,0 +1,223 @@
+"""Unit and property-based tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.mshr import MSHRFile
+from repro.cache.replacement import INSERTION_PRIORITIES, insertion_index
+from repro.core.config import CacheConfig
+from repro.core.stats import CacheStats
+
+
+def make_cache(size=8 * 1024, assoc=4, block=64, outcome=None):
+    config = CacheConfig(size_bytes=size, assoc=assoc, block_bytes=block, hit_latency=1)
+    return SetAssociativeCache(config, CacheStats(), prefetch_outcome=outcome)
+
+
+class TestInsertionIndex:
+    def test_four_way_positions(self):
+        assert insertion_index("mru", 4) == 0
+        assert insertion_index("smru", 4) == 1
+        assert insertion_index("slru", 4) == 2
+        assert insertion_index("lru", 4) == 3
+
+    def test_two_way_clamps(self):
+        assert insertion_index("mru", 2) == 0
+        assert insertion_index("lru", 2) == 1
+        assert insertion_index("slru", 2) == 0
+
+    def test_direct_mapped(self):
+        for priority in INSERTION_PRIORITIES:
+            assert insertion_index(priority, 1) == 0
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            insertion_index("random", 4)
+
+
+class TestBasicOperation:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.access(0x1000, False) is None
+        cache.fill(0x1000, ready_time=0.0)
+        line = cache.access(0x1000, False)
+        assert line is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_same_block_offsets_hit(self):
+        cache = make_cache()
+        cache.fill(0x1000, ready_time=0.0)
+        assert cache.access(0x1020, False) is not None
+        assert cache.access(0x103F, False) is not None
+
+    def test_write_sets_dirty(self):
+        cache = make_cache()
+        cache.fill(0x1000, ready_time=0.0)
+        line = cache.access(0x1000, True)
+        assert line.dirty
+
+    def test_contains_has_no_side_effects(self):
+        cache = make_cache()
+        cache.fill(0x1000, ready_time=0.0)
+        assert cache.contains(0x1000)
+        assert not cache.contains(0x2000)
+        assert cache.stats.accesses == 0
+
+    def test_peek_returns_line(self):
+        cache = make_cache()
+        cache.fill(0x1000, ready_time=0.0, dirty=True)
+        assert cache.peek(0x1000).dirty
+        assert cache.peek(0x2000) is None
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.fill(0x1000, ready_time=0.0)
+        assert cache.invalidate(0x1000) is not None
+        assert not cache.contains(0x1000)
+        assert cache.invalidate(0x1000) is None
+
+
+class TestLRUReplacement:
+    def _fill_set(self, cache, count, set_stride):
+        """Fill one set with `count` distinct blocks."""
+        for i in range(count):
+            cache.fill(i * set_stride, ready_time=0.0)
+
+    def test_evicts_lru(self):
+        cache = make_cache(assoc=2)
+        stride = cache.config.num_sets * 64
+        cache.fill(0 * stride, ready_time=0.0)
+        cache.fill(1 * stride, ready_time=0.0)
+        victim = cache.fill(2 * stride, ready_time=0.0)
+        assert victim.addr == 0
+
+    def test_hit_promotes_to_mru(self):
+        cache = make_cache(assoc=2)
+        stride = cache.config.num_sets * 64
+        cache.fill(0 * stride, ready_time=0.0)
+        cache.fill(1 * stride, ready_time=0.0)
+        cache.access(0, False)  # promote block 0
+        victim = cache.fill(2 * stride, ready_time=0.0)
+        assert victim.addr == 1 * stride
+
+    def test_lru_insertion_is_first_victim(self):
+        """Section 4.1: LRU-inserted prefetches displace at most one way."""
+        cache = make_cache(assoc=4)
+        stride = cache.config.num_sets * 64
+        for i in range(4):
+            cache.fill(i * stride, ready_time=0.0)
+        cache.fill(100 * stride, ready_time=0.0, insertion="lru", prefetched=True)
+        victim = cache.fill(200 * stride, ready_time=0.0, insertion="lru")
+        assert victim.addr == 100 * stride
+
+    def test_mru_insertion_is_last_victim(self):
+        cache = make_cache(assoc=4)
+        stride = cache.config.num_sets * 64
+        for i in range(4):
+            cache.fill(i * stride, ready_time=0.0)
+        cache.fill(100 * stride, ready_time=0.0, insertion="mru")
+        for i in range(3):
+            cache.fill((200 + i) * stride, ready_time=0.0, insertion="lru")
+        assert cache.contains(100 * stride)
+
+
+class TestPrefetchAccounting:
+    def test_useful_prefetch_reported_once(self):
+        outcomes = []
+        cache = make_cache(outcome=outcomes.append)
+        cache.fill(0x1000, ready_time=0.0, prefetched=True, insertion="lru")
+        cache.access(0x1000, False)
+        cache.access(0x1000, False)
+        assert outcomes == [True]
+        assert cache.last_was_prefetched is False  # second access
+
+    def test_evicted_unused_prefetch_reported(self):
+        outcomes = []
+        cache = make_cache(assoc=1, outcome=outcomes.append)
+        stride = cache.config.num_sets * 64
+        cache.fill(0, ready_time=0.0, prefetched=True)
+        cache.fill(stride, ready_time=0.0)
+        assert outcomes == [False]
+
+    def test_last_was_prefetched_flag(self):
+        cache = make_cache()
+        cache.fill(0x1000, ready_time=0.0, prefetched=True)
+        cache.access(0x1000, False)
+        assert cache.last_was_prefetched
+
+    def test_delayed_hit_ready_time(self):
+        cache = make_cache()
+        cache.fill(0x1000, ready_time=500.0, prefetched=True)
+        line = cache.access(0x1000, False)
+        assert line.ready_time == 500.0
+
+
+class TestOccupancy:
+    def test_occupancy_counts(self):
+        cache = make_cache()
+        cache.fill(0, ready_time=0.0)
+        cache.fill(64, ready_time=0.0)
+        assert cache.occupancy() == 2
+        assert sorted(cache.resident_blocks()) == [0, 64]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=255),  # block number
+            st.booleans(),  # write?
+            st.sampled_from(INSERTION_PRIORITIES),
+        ),
+        max_size=100,
+    )
+)
+def test_cache_invariants_hold(ops):
+    """Occupancy never exceeds capacity; no block is duplicated; a
+    filled block is found by the next lookup unless evicted."""
+    cache = make_cache(size=2 * 1024, assoc=2, block=64)  # 16 sets
+    for block_num, is_write, insertion in ops:
+        addr = block_num * 64
+        line = cache.access(addr, is_write)
+        if line is None:
+            cache.fill(addr, ready_time=0.0, insertion=insertion, dirty=is_write)
+            assert cache.contains(addr)
+        blocks = cache.resident_blocks()
+        assert len(blocks) == len(set(blocks))
+        assert cache.occupancy() <= cache.config.num_blocks
+        for s in cache._sets:
+            assert len(s) <= cache.config.assoc
+
+
+class TestMSHRFile:
+    def test_acquire_below_limit_is_free(self):
+        mshrs = MSHRFile(2)
+        assert mshrs.acquire(10.0) == 10.0
+        mshrs.commit(100.0)
+        assert mshrs.acquire(10.0) == 10.0
+
+    def test_full_waits_for_earliest(self):
+        mshrs = MSHRFile(2)
+        mshrs.commit(100.0)
+        mshrs.commit(50.0)
+        assert mshrs.acquire(10.0) == 50.0
+        assert mshrs.stalls == 1
+
+    def test_completed_entries_free_slots(self):
+        mshrs = MSHRFile(1)
+        mshrs.commit(5.0)
+        assert mshrs.acquire(10.0) == 10.0
+        assert mshrs.stalls == 0
+
+    def test_reset(self):
+        mshrs = MSHRFile(1)
+        mshrs.commit(100.0)
+        mshrs.reset()
+        assert mshrs.acquire(0.0) == 0.0
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)

@@ -1,0 +1,156 @@
+"""Unit tests for the DRDRAM channel timing model."""
+
+import pytest
+
+from repro.core.config import CoreConfig, DRAMConfig
+from repro.core.stats import SimStats
+from repro.dram.channel import AccessOutcome, LogicalChannel
+from repro.dram.mapping import DRAMCoordinates, make_mapping
+
+CYC = 1.6  # cycles per ns at the default 1.6 GHz clock
+
+
+def make_channel(**dram_kwargs):
+    stats = SimStats()
+    config = DRAMConfig(**dram_kwargs)
+    channel = LogicalChannel(config, CoreConfig(), stats)
+    return channel, stats, config
+
+
+class TestContentionFreeLatencies:
+    """Section 2.2 numbers for a single dualoct access."""
+
+    def test_row_miss_latency(self):
+        channel, stats, _ = make_channel()
+        coords = DRAMCoordinates(bank=0, row=1, column=0)
+        channel.banks.activate(0, 0)  # conflicting open row
+        first, completion = channel.access(0.0, coords, 1, False, stats.dram_reads)
+        assert completion == pytest.approx(77.5 * CYC)
+        assert first == completion
+
+    def test_precharged_latency(self):
+        channel, stats, _ = make_channel()
+        coords = DRAMCoordinates(bank=0, row=1, column=0)
+        _, completion = channel.access(0.0, coords, 1, False, stats.dram_reads)
+        assert completion == pytest.approx(57.5 * CYC)
+
+    def test_row_hit_latency(self):
+        channel, stats, _ = make_channel()
+        coords = DRAMCoordinates(bank=0, row=1, column=0)
+        channel.banks.activate(0, 1)
+        _, completion = channel.access(0.0, coords, 1, False, stats.dram_reads)
+        assert completion == pytest.approx(40.0 * CYC)
+
+
+class TestOutcomeClassification:
+    def test_classify(self):
+        channel, stats, _ = make_channel()
+        coords = DRAMCoordinates(bank=3, row=7, column=0)
+        assert channel.classify(coords) == AccessOutcome.ROW_EMPTY
+        channel.banks.activate(3, 7)
+        assert channel.classify(coords) == AccessOutcome.ROW_HIT
+        channel.banks.activate(3, 8)
+        assert channel.classify(coords) == AccessOutcome.ROW_MISS
+
+    def test_stats_buckets(self):
+        channel, stats, _ = make_channel()
+        coords = DRAMCoordinates(bank=0, row=1, column=0)
+        channel.access(0.0, coords, 1, False, stats.dram_reads)   # empty
+        channel.access(1000.0, coords, 1, False, stats.dram_reads)  # hit
+        other = DRAMCoordinates(bank=0, row=2, column=0)
+        channel.access(2000.0, other, 1, False, stats.dram_reads)  # miss
+        assert stats.dram_reads.row_empty == 1
+        assert stats.dram_reads.row_hits == 1
+        assert stats.dram_reads.row_misses == 1
+
+    def test_adjacency_flush_attribution(self):
+        channel, stats, _ = make_channel(total_devices=4)  # 1 device/channel
+        a = DRAMCoordinates(bank=0, row=5, column=0)
+        b = DRAMCoordinates(bank=1, row=6, column=0)
+        channel.access(0.0, a, 1, False, stats.dram_reads)
+        channel.access(1000.0, b, 1, False, stats.dram_reads)  # flushes bank 0
+        channel.access(2000.0, a, 1, False, stats.dram_reads)  # empty, same row
+        assert stats.dram_reads.adjacency_flushes == 1
+
+
+class TestPipelining:
+    def test_multi_packet_streams_data_bus(self):
+        """Back-to-back dualocts of one block transfer every 10 ns."""
+        channel, stats, _ = make_channel()
+        coords = DRAMCoordinates(bank=0, row=1, column=0)
+        channel.banks.activate(0, 1)
+        _, completion = channel.access(0.0, coords, 4, False, stats.dram_reads)
+        assert completion == pytest.approx((40.0 + 3 * 10.0) * CYC)
+        assert stats.data_packets == 4
+
+    def test_back_to_back_row_hits_pipeline(self):
+        """A second request's command can issue while the first's data
+        is in flight; sustained rate is one dualoct per packet time."""
+        channel, stats, _ = make_channel()
+        channel.banks.activate(0, 1)
+        coords = DRAMCoordinates(bank=0, row=1, column=0)
+        _, c1 = channel.access(0.0, coords, 1, False, stats.dram_reads)
+        _, c2 = channel.access(0.0, coords, 1, False, stats.dram_reads)
+        assert c2 - c1 == pytest.approx(10.0 * CYC)
+
+    def test_busy_time_accounting(self):
+        channel, stats, _ = make_channel()
+        coords = DRAMCoordinates(bank=0, row=1, column=0)
+        channel.access(0.0, coords, 2, False, stats.dram_reads)
+        # empty bank: 1 ACT on row bus, 2 RDs on column bus, 2 data packets
+        assert stats.row_bus_busy == pytest.approx(10.0 * CYC)
+        assert stats.col_bus_busy == pytest.approx(20.0 * CYC)
+        assert stats.data_bus_busy == pytest.approx(20.0 * CYC)
+
+    def test_command_issue_time_tracks_column_bus(self):
+        channel, stats, _ = make_channel()
+        coords = DRAMCoordinates(bank=0, row=1, column=0)
+        channel.banks.activate(0, 1)
+        channel.access(0.0, coords, 1, False, stats.dram_reads)
+        assert channel.command_issue_time() == channel.col_bus_free
+        assert channel.quiesce_time() >= channel.command_issue_time()
+
+
+class TestRowPolicy:
+    def test_open_policy_keeps_row(self):
+        channel, stats, _ = make_channel(row_policy="open")
+        coords = DRAMCoordinates(bank=0, row=1, column=0)
+        channel.access(0.0, coords, 1, False, stats.dram_reads)
+        assert channel.open_row(0) == 1
+
+    def test_closed_policy_precharges(self):
+        """Section 2.2: closed-page releases the row after each access."""
+        channel, stats, _ = make_channel(row_policy="closed")
+        coords = DRAMCoordinates(bank=0, row=1, column=0)
+        channel.access(0.0, coords, 1, False, stats.dram_reads)
+        assert channel.open_row(0) is None
+
+    def test_closed_policy_second_access_needs_only_act(self):
+        channel, stats, _ = make_channel(row_policy="closed")
+        coords = DRAMCoordinates(bank=0, row=1, column=0)
+        channel.access(0.0, coords, 1, False, stats.dram_reads)
+        channel.access(10000.0, coords, 1, False, stats.dram_reads)
+        assert stats.dram_reads.row_empty == 2
+        assert stats.dram_reads.row_misses == 0
+
+
+class TestWrites:
+    def test_write_uses_same_timing(self):
+        """DRDRAM write timing mirrors reads (Section 2.2 footnote)."""
+        channel, stats, _ = make_channel()
+        coords = DRAMCoordinates(bank=0, row=1, column=0)
+        _, completion = channel.access(0.0, coords, 1, True, stats.dram_writebacks)
+        assert completion == pytest.approx(57.5 * CYC)
+        assert stats.dram_writebacks.accesses == 1
+
+
+class TestMappingIntegration:
+    def test_streaming_a_row_is_mostly_hits(self):
+        config = DRAMConfig()
+        channel, stats, _ = make_channel()
+        mapping = make_mapping(config)
+        time = 0.0
+        for addr in range(0, 4 * config.logical_row_bytes, 64):
+            coords = mapping.translate(addr)
+            _, time = channel.access(time, coords, 1, False, stats.dram_reads)
+        assert stats.dram_reads.row_hit_rate > 0.9

@@ -1,0 +1,175 @@
+"""Unit tests for the out-of-order core timing model.
+
+Most tests run against a perfect-memory hierarchy so timing is
+determined purely by the core parameters; the dependence and MSHR tests
+use the real hierarchy with controlled miss patterns.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.system import System
+from repro.cpu.trace import TraceBuilder
+
+
+def perfect_system(**core_overrides):
+    config = SystemConfig(perfect_memory=True)
+    if core_overrides:
+        config = replace(config, core=replace(config.core, **core_overrides))
+    return System(config)
+
+
+def real_system(**kwargs):
+    return System(SystemConfig(**kwargs))
+
+
+def linear_loads(n, gap=0, stride=64, dep=0, pc=0, base=0):
+    builder = TraceBuilder("loads")
+    for i in range(n):
+        builder.load(gap, base + i * stride, dep=dep, pc=pc)
+    return builder.build()
+
+
+class TestDispatchBandwidth:
+    def test_ipc_bounded_by_issue_width(self):
+        stats = perfect_system().run(linear_loads(1000, gap=7))
+        assert stats.ipc <= 4.0 + 1e-9
+
+    def test_compute_bound_trace_reaches_peak(self):
+        stats = perfect_system().run(linear_loads(1000, gap=63))
+        assert stats.ipc == pytest.approx(4.0, rel=0.05)
+
+    def test_instruction_accounting(self):
+        stats = perfect_system().run(linear_loads(100, gap=3))
+        assert stats.instructions == 400
+        assert stats.loads == 100
+
+    def test_narrow_core_is_slower(self):
+        wide = perfect_system(issue_width=4).run(linear_loads(500, gap=7))
+        narrow = perfect_system(issue_width=1).run(linear_loads(500, gap=7))
+        assert narrow.ipc < wide.ipc
+
+
+class TestDependences:
+    def test_dep_chain_serializes_on_hit_latency(self):
+        """dep=1 loads issue only after the previous same-PC load."""
+        system = perfect_system()
+        free = system.run(linear_loads(500, gap=0, dep=0)).cycles
+        system2 = perfect_system()
+        chained = system2.run(linear_loads(500, gap=0, dep=1)).cycles
+        assert chained > free * 1.5
+
+    def test_dep_chains_are_per_pc(self):
+        """Two interleaved chains overlap each other."""
+        one_chain = TraceBuilder("one")
+        for i in range(400):
+            one_chain.load(0, i * 64, dep=1, pc=1)
+        two_chains = TraceBuilder("two")
+        for i in range(200):
+            two_chains.load(0, i * 64, dep=1, pc=1)
+            two_chains.load(0, 0x100000 + i * 64, dep=1, pc=2)
+        t1 = perfect_system().run(one_chain.build()).cycles
+        t2 = perfect_system().run(two_chains.build()).cycles
+        assert t2 < t1 * 0.8
+
+
+class TestWindow:
+    def test_window_limits_miss_overlap(self):
+        """Misses farther apart than the window serialize; a bigger
+        window overlaps them."""
+        trace = linear_loads(50, gap=60, stride=4096)  # miss every ~61 inst
+        small = System(SystemConfig()).run(trace).cycles
+        big_cfg = SystemConfig()
+        big_cfg = replace(big_cfg, core=replace(big_cfg.core, window_size=512, lsq_size=512))
+        big = System(big_cfg).run(trace).cycles
+        assert big < small
+
+    def test_lsq_bounds_outstanding_memops(self):
+        cfg = SystemConfig(perfect_memory=True)
+        tiny_lsq = replace(cfg, core=replace(cfg.core, lsq_size=2))
+        fast = System(cfg).run(linear_loads(500))
+        slow = System(tiny_lsq).run(linear_loads(500))
+        assert slow.cycles >= fast.cycles
+
+
+class TestMSHRs:
+    def test_mshr_limit_throttles_misses(self):
+        """With 1 MSHR, independent misses serialize."""
+        trace = linear_loads(64, gap=0, stride=4096)
+        base_cfg = SystemConfig()
+        one_cfg = replace(base_cfg, l1d=replace(base_cfg.l1d, mshrs=1))
+        many = System(base_cfg).run(trace).cycles
+        one = System(one_cfg).run(trace).cycles
+        assert one > many
+
+
+class TestIFetch:
+    def test_icache_misses_stall_dispatch(self):
+        hits = TraceBuilder("hits")
+        misses = TraceBuilder("misses")
+        for i in range(300):
+            hits.ifetch(0)          # same block: always hits after first
+            hits.load(4, i * 8)
+            misses.ifetch(i * 4096)  # new block every time
+            misses.load(4, i * 8)
+        t_hit = real_system().run(hits.build()).cycles
+        t_miss = real_system().run(misses.build()).cycles
+        assert t_miss > t_hit * 1.5
+
+    def test_ifetch_counted(self):
+        builder = TraceBuilder("t")
+        builder.ifetch(0)
+        builder.load(0, 0)
+        stats = real_system().run(builder.build())
+        assert stats.ifetches == 1
+
+
+class TestSoftwarePrefetchHandling:
+    def _trace(self):
+        builder = TraceBuilder("sw")
+        for i in range(200):
+            builder.software_prefetch(2, (i + 8) * 64)
+            builder.load(2, i * 64)
+        return builder.build()
+
+    def test_discarded_when_disabled(self):
+        stats = real_system(software_prefetch=False).run(self._trace())
+        assert stats.software_prefetches == 0
+        # gap instructions of the SWPF records still execute
+        assert stats.instructions == 200 * 5
+
+    def test_executed_when_enabled(self):
+        stats = real_system(software_prefetch=True).run(self._trace())
+        assert stats.software_prefetches == 200
+        assert stats.instructions == 200 * 6
+
+    def test_prefetching_ahead_reduces_load_stalls(self):
+        plain = TraceBuilder("plain")
+        for i in range(300):
+            plain.load(6, i * 64)
+        with_sw = TraceBuilder("sw")
+        for i in range(300):
+            with_sw.software_prefetch(3, (i + 16) * 64)
+            with_sw.load(3, i * 64)
+        t_plain = real_system(software_prefetch=True).run(plain.build())
+        t_sw = real_system(software_prefetch=True).run(with_sw.build())
+        assert t_sw.ipc > t_plain.ipc
+
+
+class TestClockScaling:
+    def test_higher_clock_lowers_ipc_for_memory_bound(self):
+        """Same DRAM nanoseconds cost more cycles at a faster clock."""
+        trace = linear_loads(200, gap=4, stride=4096)
+        slow = System(SystemConfig().with_clock(1.3)).run(trace)
+        fast = System(SystemConfig().with_clock(2.0)).run(trace)
+        assert fast.ipc < slow.ipc
+
+
+class TestStartTime:
+    def test_run_continues_from_start_time(self):
+        system = perfect_system()
+        t1 = system.core.run(linear_loads(10), start_time=0.0)
+        t2 = system.core.run(linear_loads(10), start_time=t1)
+        assert t2 > t1

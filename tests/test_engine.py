@@ -1,0 +1,168 @@
+"""Unit tests for the scheduled region prefetch engine."""
+
+import pytest
+
+from repro.core.config import CoreConfig, DRAMConfig, PrefetchConfig
+from repro.core.stats import SimStats
+from repro.dram.channel import LogicalChannel
+from repro.dram.mapping import make_mapping
+from repro.prefetch.engine import RegionPrefetcher
+
+
+def make_engine(**pf_kwargs):
+    pf_kwargs.setdefault("enabled", True)
+    pf_kwargs.setdefault("region_bytes", 512)  # 8 blocks: small for tests
+    config = PrefetchConfig(**pf_kwargs)
+    stats = SimStats()
+    engine = RegionPrefetcher(config, block_bytes=64, stats=stats)
+    dram = DRAMConfig()
+    channel = LogicalChannel(dram, CoreConfig(), stats)
+    mapping = make_mapping(dram)
+    return engine, channel, mapping, stats
+
+
+def nothing_resident(addr):
+    return False
+
+
+class TestDemandMiss:
+    def test_miss_enqueues_region(self):
+        engine, _, _, stats = make_engine()
+        engine.on_demand_miss(0x10000)
+        assert len(engine.queue) == 1
+        assert stats.prefetch_regions_enqueued == 1
+
+    def test_miss_in_existing_region_promotes(self):
+        engine, _, _, stats = make_engine(policy="lifo")
+        engine.on_demand_miss(0x10000)
+        engine.on_demand_miss(0x20000)
+        engine.on_demand_miss(0x10040)  # back to region 1
+        assert engine.queue.head().base == 0x10000
+        assert stats.prefetch_regions_promoted == 1
+        assert stats.prefetch_regions_enqueued == 2
+
+    def test_region_fully_demanded_retires(self):
+        engine, _, _, stats = make_engine(region_bytes=128)  # 2 blocks
+        engine.on_demand_miss(0x10000)
+        engine.on_demand_miss(0x10040)
+        assert len(engine.queue) == 0
+        assert stats.prefetch_regions_completed == 1
+
+
+class TestSelect:
+    def test_selects_block_after_miss(self):
+        engine, channel, mapping, _ = make_engine()
+        engine.on_demand_miss(0x10000)
+        addr = engine.select(channel, mapping, nothing_resident)
+        assert addr == 0x10040
+
+    def test_linear_order_with_wrap(self):
+        engine, channel, mapping, _ = make_engine(region_bytes=256)
+        engine.on_demand_miss(0x10080)  # block 2 of 4
+        picks = [engine.select(channel, mapping, nothing_resident) for _ in range(3)]
+        assert picks == [0x100C0, 0x10000, 0x10040]
+
+    def test_resident_blocks_skipped(self):
+        engine, channel, mapping, _ = make_engine()
+        engine.on_demand_miss(0x10000)
+        resident = lambda addr: addr == 0x10040
+        assert engine.select(channel, mapping, resident) == 0x10080
+
+    def test_exhausted_region_retired_on_select(self):
+        engine, channel, mapping, stats = make_engine(region_bytes=128)
+        engine.on_demand_miss(0x10000)
+        assert engine.select(channel, mapping, nothing_resident) == 0x10040
+        assert len(engine.queue) == 0
+        assert engine.select(channel, mapping, nothing_resident) is None
+
+    def test_empty_queue_returns_none(self):
+        engine, channel, mapping, _ = make_engine()
+        assert engine.select(channel, mapping, nothing_resident) is None
+
+    def test_bank_aware_prefers_open_row(self):
+        """Section 4.2: regions mapping to open rows get priority."""
+        engine, channel, mapping, _ = make_engine(bank_aware=True, policy="lifo")
+        engine.on_demand_miss(0x10000)
+        engine.on_demand_miss(0x800000)  # most recent: highest LIFO priority
+        # Open the row that region 1's next block maps to.
+        coords = mapping.translate(0x10040)
+        channel.banks.activate(coords.bank, coords.row)
+        addr = engine.select(channel, mapping, nothing_resident)
+        assert addr == 0x10040  # beats the LIFO head because its row is open
+
+    def test_not_bank_aware_follows_queue_order(self):
+        engine, channel, mapping, _ = make_engine(bank_aware=False, policy="lifo")
+        engine.on_demand_miss(0x10000)
+        engine.on_demand_miss(0x800000)
+        coords = mapping.translate(0x10040)
+        channel.banks.activate(coords.bank, coords.row)
+        assert engine.select(channel, mapping, nothing_resident) == 0x800040
+
+
+class TestThrottle:
+    def test_disabled_by_default(self):
+        engine, _, _, _ = make_engine()
+        for _ in range(1000):
+            engine.record_outcome(False)
+        assert not engine.throttled
+
+    def test_engages_on_low_accuracy(self):
+        engine, channel, mapping, stats = make_engine(
+            throttle=True, throttle_min_accuracy=0.2, throttle_window=10
+        )
+        for _ in range(20):
+            engine.record_outcome(False)
+        assert engine.throttled
+        engine.on_demand_miss(0x10000)
+        assert engine.select(channel, mapping, nothing_resident) is None
+        assert stats.prefetches_throttled == 1
+
+    def test_stays_open_on_high_accuracy(self):
+        engine, _, _, _ = make_engine(
+            throttle=True, throttle_min_accuracy=0.2, throttle_window=10
+        )
+        for _ in range(20):
+            engine.record_outcome(True)
+        assert not engine.throttled
+
+    def test_estimate_decays(self):
+        engine, _, _, _ = make_engine(throttle_window=8)
+        for _ in range(16):
+            engine.record_outcome(True)
+        assert engine.estimated_accuracy == 1.0
+        assert engine._outcome_total <= 16
+
+
+class TestValidation:
+    def test_region_must_fit_block(self):
+        config = PrefetchConfig(enabled=True, region_bytes=64)
+        with pytest.raises(ValueError):
+            RegionPrefetcher(config, block_bytes=128, stats=SimStats())
+
+
+class TestThrottleProbes:
+    def test_probes_issue_while_throttled(self):
+        engine, channel, mapping, stats = make_engine(
+            throttle=True, throttle_min_accuracy=0.2, throttle_window=10
+        )
+        for _ in range(20):
+            engine.record_outcome(False)
+        assert engine.throttled
+        engine.on_demand_miss(0x10000)
+        issued = sum(
+            1 for _ in range(64)
+            if engine.select(channel, mapping, nothing_resident) is not None
+        )
+        assert 1 <= issued <= 4  # roughly one probe per 32 selects
+        assert stats.prefetches_throttled > 0
+
+    def test_throttle_recovers_on_useful_probes(self):
+        engine, channel, mapping, _ = make_engine(
+            throttle=True, throttle_min_accuracy=0.2, throttle_window=10
+        )
+        for _ in range(20):
+            engine.record_outcome(False)
+        assert engine.throttled
+        for _ in range(60):
+            engine.record_outcome(True)
+        assert not engine.throttled

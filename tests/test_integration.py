@@ -1,0 +1,167 @@
+"""Integration tests: the paper's qualitative findings hold end-to-end.
+
+These use short traces, so they assert directional behaviour with
+margins, not magnitudes.
+"""
+
+import pytest
+
+from repro import System, presets, simulate
+from repro.experiments.common import Profile, run_benchmark
+from repro.workloads import build_trace
+
+PROFILE = Profile("itest", memory_refs=6_000)
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run a small matrix once and share it across assertions."""
+    out = {}
+    configs = {
+        "base": presets.base_4ch_64b(),
+        "xor": presets.xor_4ch_64b(),
+        "pf": presets.prefetch_4ch_64b(),
+        "perfect_l2": presets.perfect_l2(),
+        "perfect_mem": presets.perfect_memory(),
+    }
+    for bench in ("swim", "gap", "twolf", "mcf", "facerec"):
+        for label, config in configs.items():
+            out[(bench, label)] = run_benchmark(bench, config, PROFILE)
+    return out
+
+
+class TestIdealOrdering:
+    @pytest.mark.parametrize("bench", ["swim", "gap", "twolf", "mcf"])
+    def test_real_below_perfect_l2_below_perfect_mem(self, results, bench):
+        real = results[(bench, "xor")].ipc
+        pl2 = results[(bench, "perfect_l2")].ipc
+        pmem = results[(bench, "perfect_mem")].ipc
+        assert real <= pl2 * 1.02
+        assert pl2 <= pmem * 1.02
+
+    def test_memory_intensive_benchmarks_stall_heavily(self, results):
+        """Figure 1: mcf loses most of its performance to L2 misses."""
+        real = results[("mcf", "xor")].ipc
+        pl2 = results[("mcf", "perfect_l2")].ipc
+        assert (pl2 - real) / pl2 > 0.8
+
+
+class TestMappingFindings:
+    def test_xor_helps_streaming_benchmark(self, results):
+        """Section 3.4: large gains for swim-class benchmarks."""
+        assert results[("swim", "xor")].ipc > results[("swim", "base")].ipc * 1.1
+
+    def test_xor_improves_writeback_row_hits(self, results):
+        base = results[("swim", "base")].dram_writebacks.row_hit_rate
+        xor = results[("swim", "xor")].dram_writebacks.row_hit_rate
+        assert xor > base
+
+    def test_xor_harmless_for_cache_resident(self, results):
+        ratio = results[("twolf", "xor")].ipc / results[("twolf", "base")].ipc
+        assert ratio > 0.95
+
+
+class TestPrefetchFindings:
+    def test_prefetch_helps_winners(self, results):
+        """Section 4.3: 10%+ gains for the Figure 5 benchmarks."""
+        for bench in ("gap", "facerec"):
+            gain = results[(bench, "pf")].ipc / results[(bench, "xor")].ipc
+            assert gain > 1.08, f"{bench}: {gain}"
+
+    def test_prefetch_reduces_miss_rate(self, results):
+        for bench in ("swim", "gap", "facerec"):
+            assert (
+                results[(bench, "pf")].l2_miss_rate
+                < results[(bench, "xor")].l2_miss_rate
+            )
+
+    def test_prefetch_unintrusive_for_low_accuracy(self, results):
+        """Section 4.3: no benchmark loses more than a few percent."""
+        ratio = results[("twolf", "pf")].ipc / results[("twolf", "xor")].ipc
+        assert ratio > 0.9
+
+    def test_bandwidth_bound_cannot_prefetch(self, results):
+        """mcf saturates the channel: almost no prefetches issue."""
+        stats = results[("mcf", "pf")]
+        assert stats.prefetches_issued < stats.l2_demand_fetches * 0.2
+
+    def test_winner_prefetch_accuracy_high(self, results):
+        assert results[("swim", "pf")].prefetch_accuracy > 0.5
+        assert results[("facerec", "pf")].prefetch_accuracy > 0.5
+
+    def test_prefetch_raises_utilization(self, results):
+        for bench in ("swim", "gap"):
+            assert (
+                results[(bench, "pf")].data_channel_utilization
+                >= results[(bench, "xor")].data_channel_utilization * 0.95
+            )
+
+    def test_prefetches_hit_open_rows(self, results):
+        """Section 4.2: bank-aware prefetch row-hit rate near 100%."""
+        stats = results[("swim", "pf")]
+        assert stats.dram_prefetches.row_hit_rate > 0.85
+
+
+class TestUnscheduledPrefetch:
+    def test_unscheduled_inflates_latency(self):
+        xor = run_benchmark("swim", presets.xor_4ch_64b(), PROFILE)
+        naive = run_benchmark("swim", presets.unscheduled_prefetch_4ch_64b(), PROFILE)
+        assert naive.avg_l2_miss_latency > xor.avg_l2_miss_latency * 2
+
+    def test_scheduled_latency_increase_is_small(self):
+        xor = run_benchmark("swim", presets.xor_4ch_64b(), PROFILE)
+        pf = run_benchmark("swim", presets.prefetch_4ch_64b(), PROFILE)
+        assert pf.avg_l2_miss_latency < xor.avg_l2_miss_latency * 1.5
+
+
+class TestChannelWidth:
+    def test_wider_channels_help_bandwidth_bound(self):
+        """At a block size large enough to use the extra width (Section
+        3.3: wider channels shift the performance point to larger
+        blocks), more channels help a bandwidth-bound benchmark."""
+        narrow = run_benchmark("art", presets.xor_4ch_64b().with_block_size(256), PROFILE)
+        wide_cfg = presets.xor_4ch_64b().with_channels(16).with_block_size(256)
+        wide = run_benchmark("art", wide_cfg, PROFILE)
+        assert wide.ipc > narrow.ipc
+
+    def test_large_blocks_need_wide_channels(self):
+        """Section 3.3: 2KB blocks hurt at 4 channels but far less at 32."""
+        b64 = run_benchmark("twolf", presets.base_4ch_64b(), PROFILE)
+        b2k_narrow = run_benchmark("twolf", presets.base_4ch_64b().with_block_size(2048), PROFILE)
+        wide = presets.base_4ch_64b().with_channels(32)
+        b2k_wide = run_benchmark("twolf", wide.with_block_size(2048), PROFILE)
+        assert b2k_narrow.ipc < b64.ipc
+        assert b2k_wide.ipc > b2k_narrow.ipc
+
+
+class TestCacheCapacity:
+    def test_bigger_l2_reduces_misses(self):
+        small = run_benchmark("bzip2", presets.xor_4ch_64b(), PROFILE)
+        big = run_benchmark("bzip2", presets.xor_4ch_64b().with_l2_size(8 << 20), PROFILE)
+        assert big.l2_miss_rate <= small.l2_miss_rate
+
+
+class TestDRAMPartSensitivity:
+    def test_slower_part_lowers_ipc(self):
+        from repro.core.config import PART_800_50
+        fast = run_benchmark("swim", presets.xor_4ch_64b(), PROFILE)
+        slow = run_benchmark("swim", presets.xor_4ch_64b().with_part(PART_800_50), PROFILE)
+        assert slow.ipc < fast.ipc
+
+
+class TestStrideEngineAblation:
+    def test_stride_engine_runs_and_helps_streams(self):
+        """The related-work stride baseline (Section 5) captures
+        constant-stride misses but less of the region's locality."""
+        stride_cfg = presets.xor_4ch_64b().with_prefetch(engine="stride")
+        xor = run_benchmark("swim", presets.xor_4ch_64b(), PROFILE)
+        stride = run_benchmark("swim", stride_cfg, PROFILE)
+        region = run_benchmark("swim", presets.prefetch_4ch_64b(), PROFILE)
+        assert stride.prefetches_issued > 0
+        assert stride.ipc > xor.ipc * 0.9
+        assert region.l2_miss_rate <= stride.l2_miss_rate + 0.05
+
+    def test_stride_engine_idle_for_random_misses(self):
+        stride_cfg = presets.xor_4ch_64b().with_prefetch(engine="stride")
+        stats = run_benchmark("twolf", stride_cfg, PROFILE)
+        assert stats.prefetches_issued < stats.l2_demand_fetches

@@ -1,0 +1,159 @@
+"""Unit and property-based tests for the DRAM address mappings."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DRAMConfig
+from repro.dram.mapping import BaseMapping, DRAMCoordinates, XorMapping, make_mapping
+
+
+def _config(**kwargs):
+    return DRAMConfig(**kwargs)
+
+
+class TestFieldExtraction:
+    def test_low_bits_do_not_change_coords(self):
+        """Dualoct offset and channel bits are below the column field."""
+        mapping = BaseMapping(_config())
+        a = mapping.translate(0x100000)
+        for low in range(64):
+            assert mapping.translate(0x100000 + low) in (a, mapping.translate(0x100000 + low))
+            b = mapping.translate(0x100000 + low)
+            assert b.bank == a.bank
+            assert b.row == a.row
+
+    def test_sequential_addresses_fill_a_row_first(self):
+        """Figure 3: adjacent blocks map contiguously into one DRAM row."""
+        config = _config()
+        mapping = BaseMapping(config)
+        row_bytes = config.logical_row_bytes
+        first = mapping.translate(0)
+        for addr in range(0, row_bytes, 64):
+            coords = mapping.translate(addr)
+            assert coords.bank == first.bank
+            assert coords.row == first.row
+        next_row = mapping.translate(row_bytes)
+        assert (next_row.bank, next_row.row) != (first.bank, first.row)
+
+    def test_column_increments_within_row(self):
+        config = _config()
+        mapping = BaseMapping(config)
+        step = config.logical_dualoct_bytes
+        cols = [mapping.translate(addr).column for addr in range(0, 4 * step, step)]
+        assert cols == [0, 1, 2, 3]
+
+    def test_address_bits_match_capacity(self):
+        config = _config()
+        mapping = BaseMapping(config)
+        assert 1 << mapping.address_bits == config.capacity_bytes
+
+    def test_coords_in_range(self):
+        config = _config()
+        for mapping in (BaseMapping(config), XorMapping(config)):
+            for addr in range(0, config.capacity_bytes, config.capacity_bytes // 257):
+                coords = mapping.translate(addr)
+                assert 0 <= coords.bank < config.num_logical_banks
+                assert 0 <= coords.row < config.rows_per_bank
+                assert 0 <= coords.column < config.row_bytes // config.dualoct_bytes
+
+
+class TestBaseMappingAnomaly:
+    def test_same_cache_set_blocks_conflict_in_bank(self):
+        """Section 3.4: blocks that share an L2 set land in the same bank
+        (or one of two banks with two devices/channel) but different rows
+        under the base mapping — the writeback conflict anomaly."""
+        config = _config()
+        mapping = BaseMapping(config)
+        l2_span = 1 << 18  # 1MB / 4 ways
+        coords = [mapping.translate(0x4000 + i * l2_span) for i in range(8)]
+        banks = {c.bank for c in coords}
+        rows = {c.row for c in coords}
+        assert len(banks) <= 2
+        assert len(rows) > 1
+
+    def test_xor_spreads_same_set_blocks(self):
+        """Figure 3b: the XOR swizzle distributes same-set blocks."""
+        config = _config()
+        mapping = XorMapping(config)
+        l2_span = 1 << 18
+        coords = [mapping.translate(0x4000 + i * l2_span) for i in range(16)]
+        banks = {c.bank for c in coords}
+        assert len(banks) >= 8
+
+
+class TestXorMapping:
+    def test_preserves_contiguous_striping(self):
+        """XOR keeps whole rows contiguous (row bits unchanged)."""
+        config = _config()
+        mapping = XorMapping(config)
+        row_bytes = config.logical_row_bytes
+        first = mapping.translate(0)
+        for addr in range(0, row_bytes, 256):
+            coords = mapping.translate(addr)
+            assert (coords.bank, coords.row) == (first.bank, first.row)
+
+    def test_adjacent_regions_use_nonadjacent_banks(self):
+        """The bank-bit rotation walks even banks before odd banks,
+        avoiding shared-sense-amp neighbours (Section 3.4)."""
+        config = _config()
+        mapping = XorMapping(config)
+        row_bytes = config.logical_row_bytes
+        device_bits = config.devices_per_channel.bit_length() - 1
+        banks = [mapping.translate(i * row_bytes).bank >> device_bits for i in range(4)]
+        for a, b in zip(banks, banks[1:]):
+            assert abs(a - b) != 1, f"adjacent banks {a},{b} for consecutive regions"
+
+    def test_row_index_unchanged_by_swizzle(self):
+        config = _config()
+        base = BaseMapping(config)
+        xor = XorMapping(config)
+        for addr in range(0, config.capacity_bytes, config.capacity_bytes // 101):
+            assert base.translate(addr).row == xor.translate(addr).row
+
+
+class TestMakeMapping:
+    def test_selects_by_name(self):
+        assert isinstance(make_mapping(_config(mapping="base")), BaseMapping)
+        assert isinstance(make_mapping(_config(mapping="xor")), XorMapping)
+
+
+class TestCoordinates:
+    def test_open_row_key_unique(self):
+        a = DRAMCoordinates(bank=1, row=2, column=0)
+        b = DRAMCoordinates(bank=2, row=1, column=0)
+        assert a.open_row_key != b.open_row_key
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    addr=st.integers(min_value=0, max_value=(1 << 28) - 1),
+    mapping_name=st.sampled_from(["base", "xor"]),
+)
+def test_mapping_is_injective_within_bank_row(addr, mapping_name):
+    """Two different dualocts in the same (bank, row) must have
+    different columns — the mapping never aliases within a row."""
+    config = _config(mapping=mapping_name)
+    mapping = make_mapping(config)
+    step = config.logical_dualoct_bytes
+    a = mapping.translate(addr)
+    b = mapping.translate(addr + step)
+    if (a.bank, a.row) == (b.bank, b.row):
+        assert a.column != b.column
+
+
+@settings(max_examples=200, deadline=None)
+@given(addr=st.integers(min_value=0, max_value=(1 << 28) - 64))
+def test_base_and_xor_are_bijections_of_each_other(addr):
+    """The XOR swizzle permutes (device, bank) only: for a fixed row,
+    distinct base banks map to distinct xor banks."""
+    config = _config()
+    base = BaseMapping(config)
+    xor = XorMapping(config)
+    row_span = config.logical_row_bytes
+    this_row = (addr // row_span) * row_span
+    other = (this_row + row_span) % config.capacity_bytes
+    a1, a2 = base.translate(this_row), base.translate(other)
+    x1, x2 = xor.translate(this_row), xor.translate(other)
+    if (a1.bank, a1.row) != (a2.bank, a2.row):
+        assert (x1.bank, x1.row) != (x2.bank, x2.row)

@@ -1,0 +1,108 @@
+"""Unit tests for the FIFO/LIFO prefetch queue."""
+
+import pytest
+
+from repro.prefetch.queue import PrefetchQueue
+from repro.prefetch.region import RegionEntry
+
+
+def region(n):
+    return RegionEntry(n * 4096, 4096, 64, n * 4096)
+
+
+class TestConstruction:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            PrefetchQueue(0)
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ValueError):
+            PrefetchQueue(4, policy="random")
+
+
+class TestFIFO:
+    def test_oldest_has_highest_priority(self):
+        """Section 4.2: the oldest region issues first under FIFO."""
+        queue = PrefetchQueue(4, policy="fifo")
+        a, b = region(1), region(2)
+        queue.insert(a)
+        queue.insert(b)
+        assert queue.head() is a
+
+    def test_oldest_is_replaced_when_full(self):
+        """...and is also the replacement victim."""
+        queue = PrefetchQueue(2, policy="fifo")
+        a, b, c = region(1), region(2), region(3)
+        queue.insert(a)
+        queue.insert(b)
+        victim = queue.insert(c)
+        assert victim is a
+        assert queue.head() is b
+
+
+class TestLIFO:
+    def test_newest_has_highest_priority(self):
+        queue = PrefetchQueue(4, policy="lifo")
+        a, b = region(1), region(2)
+        queue.insert(a)
+        queue.insert(b)
+        assert queue.head() is b
+
+    def test_stalest_is_replaced_when_full(self):
+        queue = PrefetchQueue(2, policy="lifo")
+        a, b, c = region(1), region(2), region(3)
+        queue.insert(a)
+        queue.insert(b)
+        victim = queue.insert(c)
+        assert victim is a
+        assert queue.head() is c
+
+    def test_promote_moves_to_front(self):
+        """Section 4.2: a demand miss inside a queued region re-promotes
+        it to the highest-priority position."""
+        queue = PrefetchQueue(4, policy="lifo")
+        a, b, c = region(1), region(2), region(3)
+        for r in (a, b, c):
+            queue.insert(r)
+        queue.promote(a)
+        assert queue.head() is a
+
+    def test_promoted_region_escapes_replacement(self):
+        queue = PrefetchQueue(2, policy="lifo")
+        a, b = region(1), region(2)
+        queue.insert(a)
+        queue.insert(b)
+        queue.promote(a)
+        victim = queue.insert(region(3))
+        assert victim is b
+
+
+class TestCommon:
+    def test_find_by_address(self):
+        queue = PrefetchQueue(4)
+        a = region(1)
+        queue.insert(a)
+        assert queue.find(4096 + 100) is a
+        assert queue.find(0) is None
+
+    def test_retire_removes(self):
+        queue = PrefetchQueue(4)
+        a = region(1)
+        queue.insert(a)
+        queue.retire(a)
+        assert len(queue) == 0
+        assert queue.head() is None
+
+    def test_iteration_order_is_priority_order(self):
+        queue = PrefetchQueue(4, policy="lifo")
+        regions = [region(i) for i in range(1, 4)]
+        for r in regions:
+            queue.insert(r)
+        assert list(queue) == list(reversed(regions))
+
+    def test_entries_returns_copy(self):
+        queue = PrefetchQueue(4)
+        queue.insert(region(1))
+        entries = queue.entries
+        entries.clear()
+        assert len(queue) == 1

@@ -1,0 +1,101 @@
+"""Unit and property tests for prefetch region entries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prefetch.region import RegionEntry
+
+
+def make_region(miss_block=0, region=4096, block=64):
+    base = 0x10000
+    return RegionEntry(base, region, block, base + miss_block * block)
+
+
+class TestRegionEntry:
+    def test_requires_alignment(self):
+        with pytest.raises(ValueError):
+            RegionEntry(100, 4096, 64, 100)
+
+    def test_miss_block_marked_at_creation(self):
+        region = make_region(miss_block=5)
+        assert region.is_marked(5)
+        assert region.origin == 5
+
+    def test_contains(self):
+        region = make_region()
+        assert region.contains(0x10000)
+        assert region.contains(0x10000 + 4095)
+        assert not region.contains(0x10000 + 4096)
+        assert not region.contains(0x0FFFF)
+
+    def test_block_index_and_addr_roundtrip(self):
+        region = make_region()
+        for index in (0, 1, 63):
+            assert region.block_index(region.block_addr(index)) == index
+
+    def test_block_index_out_of_range(self):
+        region = make_region()
+        with pytest.raises(ValueError):
+            region.block_index(0)
+
+    def test_scan_starts_after_miss(self):
+        """Section 4 assumption (2): linear order from the block after
+        the demand miss."""
+        region = make_region(miss_block=10)
+        assert region.next_candidate() == 11
+
+    def test_scan_wraps(self):
+        region = make_region(miss_block=62)
+        assert region.next_candidate() == 63
+        region.mark_block(region.block_addr(63))
+        region.advance()
+        assert region.next_candidate() == 0
+
+    def test_marked_blocks_skipped(self):
+        region = make_region(miss_block=0)
+        region.mark_block(region.block_addr(1))
+        region.mark_block(region.block_addr(2))
+        assert region.next_candidate() == 3
+
+    def test_exhausted_after_full_scan(self):
+        region = make_region(region=256)  # 4 blocks
+        for _ in range(3):
+            index = region.next_candidate()
+            region.mark_block(region.block_addr(index))
+            region.advance()
+        assert region.exhausted
+        assert region.next_candidate() is None
+
+    def test_exhausted_by_demand_marks(self):
+        region = make_region(region=256)
+        for i in range(1, 4):
+            region.mark_block(region.block_addr(i))
+        assert region.exhausted
+
+    def test_single_block_region_immediately_exhausted(self):
+        region = make_region(region=64)
+        assert region.exhausted
+        assert region.next_candidate() is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    miss=st.integers(min_value=0, max_value=63),
+    marks=st.lists(st.integers(min_value=0, max_value=63), max_size=64),
+)
+def test_scan_visits_every_unmarked_block_exactly_once(miss, marks):
+    region = make_region(miss_block=miss)
+    for m in marks:
+        region.mark_block(region.block_addr(m))
+    premarked = set(marks) | {miss}
+    visited = []
+    while True:
+        index = region.next_candidate()
+        if index is None:
+            break
+        visited.append(index)
+        region.mark_block(region.block_addr(index))
+        region.advance()
+    assert sorted(visited) == sorted(set(range(64)) - premarked)
+    assert region.exhausted

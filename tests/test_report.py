@@ -1,0 +1,40 @@
+"""Tests for the run-report renderer."""
+
+from repro import System, presets
+from repro.core.report import format_report
+from repro.core.stats import SimStats
+from repro.workloads import build_trace
+
+
+class TestFormatReport:
+    def test_empty_stats_render(self):
+        text = format_report(SimStats())
+        assert "=== core ===" in text
+        assert "(no accesses)" in text
+
+    def test_real_run_sections(self):
+        config = presets.prefetch_4ch_64b()
+        stats = System(config).run(build_trace("gap", 2000))
+        text = format_report(stats, config)
+        for section in ("=== core ===", "=== caches ===", "=== DRAM ===",
+                        "=== prefetch engine ===", "=== configuration ==="):
+            assert section in text
+        assert "LIFO" in text
+        assert "bank-aware" in text
+
+    def test_no_prefetch_section_without_prefetching(self):
+        config = presets.xor_4ch_64b()
+        stats = System(config).run(build_trace("gap", 1000))
+        text = format_report(stats, config)
+        assert "=== prefetch engine ===" not in text
+
+    def test_unscheduled_flagged(self):
+        config = presets.unscheduled_prefetch_4ch_64b()
+        stats = System(config).run(build_trace("gap", 1000))
+        assert "UNSCHEDULED" in format_report(stats, config)
+
+    def test_values_appear(self):
+        stats = SimStats(instructions=1234, cycles=617.0)
+        text = format_report(stats)
+        assert "1234" in text
+        assert "2.000" in text  # IPC

@@ -1,0 +1,82 @@
+"""Unit tests for the software-prefetch trace utilities."""
+
+import numpy as np
+
+from repro.cache.hierarchy import AccessKind
+from repro.cpu.trace import TraceBuilder
+from repro.prefetch.software import (
+    insert_software_prefetches,
+    software_prefetch_stats,
+    strip_software_prefetches,
+)
+
+
+def strided_trace(n=100, stride=64, gap=2):
+    builder = TraceBuilder("strided")
+    for i in range(n):
+        builder.load(gap, i * stride, pc=1)
+    return builder.build()
+
+
+class TestStrip:
+    def test_removes_swpf_preserving_instructions(self):
+        builder = TraceBuilder("t")
+        builder.software_prefetch(3, 0x1000)
+        builder.load(2, 0x2000)
+        trace = builder.build()
+        stripped = strip_software_prefetches(trace)
+        assert len(stripped) == 1
+        assert stripped.instruction_count == trace.instruction_count
+        assert stripped.gaps[0] == 5
+
+    def test_noop_without_swpf(self):
+        trace = strided_trace(10)
+        stripped = strip_software_prefetches(trace)
+        assert len(stripped) == len(trace)
+
+
+class TestInsert:
+    def test_inserts_for_strided_sites(self):
+        trace = strided_trace(50)
+        with_sw = insert_software_prefetches(trace, distance=512)
+        swpf = int(np.sum(with_sw.kinds == AccessKind.SWPF))
+        assert swpf > 30
+
+    def test_prefetch_addresses_lead_the_stream(self):
+        trace = strided_trace(50)
+        with_sw = insert_software_prefetches(trace, distance=512)
+        records = list(with_sw.records())
+        for i, (kind, _, addr, _, _) in enumerate(records):
+            if kind == AccessKind.SWPF:
+                next_load = records[i + 1]
+                assert addr == next_load[2] + 512
+
+    def test_random_sites_get_no_prefetches(self):
+        builder = TraceBuilder("random")
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            builder.load(2, int(rng.integers(1 << 20)) * 8, pc=1)
+        with_sw = insert_software_prefetches(builder.build())
+        assert int(np.sum(with_sw.kinds == AccessKind.SWPF)) <= 2
+
+    def test_instruction_count_preserved(self):
+        trace = strided_trace(50)
+        with_sw = insert_software_prefetches(trace)
+        assert with_sw.instruction_count == trace.instruction_count
+
+
+class TestStats:
+    def test_coverage_counts(self):
+        builder = TraceBuilder("t")
+        builder.software_prefetch(0, 0x1000)
+        builder.load(0, 0x1000)  # covered
+        builder.load(0, 0x2000)  # not covered
+        stats = software_prefetch_stats(builder.build())
+        assert stats.swpf_records == 1
+        assert stats.load_records == 2
+        assert stats.covered_loads == 1
+        assert stats.coverage == 0.5
+
+    def test_empty_trace(self):
+        stats = software_prefetch_stats(TraceBuilder("e").build())
+        assert stats.coverage == 0.0

@@ -1,0 +1,121 @@
+"""Unit tests for repro.core.stats."""
+
+import pytest
+
+from repro.core.stats import (
+    CacheStats,
+    DRAMClassStats,
+    SimStats,
+    harmonic_mean,
+    merge_stats,
+)
+
+
+class TestHarmonicMean:
+    def test_single_value(self):
+        assert harmonic_mean([2.0]) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4.0 / 3.0)
+
+    def test_dominated_by_small_values(self):
+        assert harmonic_mean([0.1, 10.0]) < 0.25
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+
+class TestCacheStats:
+    def test_miss_rate(self):
+        stats = CacheStats(accesses=10, hits=7, misses=3)
+        assert stats.miss_rate == pytest.approx(0.3)
+        assert stats.hit_rate == pytest.approx(0.7)
+
+    def test_empty_rates(self):
+        assert CacheStats().miss_rate == 0.0
+        assert CacheStats().hit_rate == 0.0
+
+    def test_merge(self):
+        a = CacheStats(accesses=10, hits=7, misses=3)
+        b = CacheStats(accesses=5, hits=1, misses=4)
+        a.merge(b)
+        assert a.accesses == 15
+        assert a.misses == 7
+
+
+class TestDRAMClassStats:
+    def test_row_hit_rate(self):
+        stats = DRAMClassStats(accesses=4, row_hits=3, row_misses=1)
+        assert stats.row_hit_rate == pytest.approx(0.75)
+
+    def test_empty_rate(self):
+        assert DRAMClassStats().row_hit_rate == 0.0
+
+
+class TestSimStats:
+    def test_ipc(self):
+        stats = SimStats(instructions=100, cycles=50.0)
+        assert stats.ipc == pytest.approx(2.0)
+
+    def test_ipc_zero_cycles(self):
+        assert SimStats().ipc == 0.0
+
+    def test_l2_miss_rate_counts_demand_fetches(self):
+        stats = SimStats()
+        stats.l2.accesses = 10
+        stats.l2_demand_fetches = 4
+        assert stats.l2_miss_rate == pytest.approx(0.4)
+
+    def test_avg_l2_miss_latency(self):
+        stats = SimStats(l2_demand_fetches=2, l2_miss_latency_sum=300.0)
+        assert stats.avg_l2_miss_latency == pytest.approx(150.0)
+
+    def test_utilizations_capped_at_one(self):
+        stats = SimStats(cycles=10.0, row_bus_busy=8.0, col_bus_busy=8.0, data_bus_busy=20.0)
+        assert stats.command_channel_utilization == 1.0
+        assert stats.data_channel_utilization == 1.0
+
+    def test_prefetch_accuracy(self):
+        stats = SimStats(prefetches_issued=10, prefetches_useful=4)
+        assert stats.prefetch_accuracy == pytest.approx(0.4)
+        assert SimStats().prefetch_accuracy == 0.0
+
+    def test_overall_row_hit_rate_combines_classes(self):
+        stats = SimStats()
+        stats.dram_reads = DRAMClassStats(accesses=2, row_hits=2)
+        stats.dram_writebacks = DRAMClassStats(accesses=2, row_hits=0, row_misses=2)
+        assert stats.overall_row_hit_rate == pytest.approx(0.5)
+
+    def test_summary_keys(self):
+        summary = SimStats().summary()
+        for key in ("ipc", "l2_miss_rate", "command_utilization", "prefetch_accuracy"):
+            assert key in summary
+
+    def test_reset_zeroes_everything_in_place(self):
+        stats = SimStats(instructions=5, cycles=10.0)
+        stats.l2.accesses = 3
+        stats.dram_reads.row_hits = 2
+        l2_ref = stats.l2
+        stats.reset()
+        assert stats.instructions == 0
+        assert stats.cycles == 0.0
+        assert stats.l2.accesses == 0
+        assert stats.dram_reads.row_hits == 0
+        assert stats.l2 is l2_ref  # identity preserved for shared references
+
+    def test_merge_accumulates(self):
+        a = SimStats(instructions=10, cycles=5.0)
+        b = SimStats(instructions=20, cycles=5.0)
+        a.merge(b)
+        assert a.instructions == 30
+        assert a.cycles == 10.0
+
+    def test_merge_stats_helper(self):
+        runs = [SimStats(instructions=1, cycles=1.0) for _ in range(3)]
+        total = merge_stats(runs)
+        assert total.instructions == 3

@@ -1,0 +1,86 @@
+"""Unit tests for the stride-prefetcher baseline."""
+
+from repro.core.config import CoreConfig, DRAMConfig
+from repro.core.stats import SimStats
+from repro.dram.channel import LogicalChannel
+from repro.dram.mapping import make_mapping
+from repro.prefetch.stride import StrideEntry, StridePrefetcher
+
+
+def make_prefetcher(**kwargs):
+    stats = SimStats()
+    pf = StridePrefetcher(block_bytes=64, stats=stats, **kwargs)
+    dram = DRAMConfig()
+    channel = LogicalChannel(dram, CoreConfig(), stats)
+    return pf, channel, make_mapping(dram)
+
+
+class TestStrideEntry:
+    def test_confidence_builds_on_stable_stride(self):
+        entry = StrideEntry(0)
+        entry.observe(64)
+        assert not entry.confident
+        entry.observe(128)
+        entry.observe(192)
+        assert entry.confident
+        assert entry.stride == 64
+
+    def test_stride_change_resets(self):
+        entry = StrideEntry(0)
+        for addr in (64, 128, 192):
+            entry.observe(addr)
+        entry.observe(1000)
+        assert not entry.confident
+
+    def test_zero_stride_never_confident(self):
+        entry = StrideEntry(0)
+        for _ in range(5):
+            entry.observe(0)
+        assert not entry.confident
+
+
+class TestStridePrefetcher:
+    def test_no_predictions_before_confidence(self):
+        pf, channel, mapping = make_prefetcher()
+        pf.on_demand_miss(0, pc=1)
+        pf.on_demand_miss(64, pc=1)
+        assert not pf.has_work()
+
+    def test_predicts_after_stable_stride(self):
+        pf, channel, mapping = make_prefetcher(degree=2)
+        for addr in (0, 64, 128, 192):
+            pf.on_demand_miss(addr, pc=1)
+        assert pf.has_work()
+        assert pf.select(channel, mapping, lambda a: False) == 256
+        assert pf.select(channel, mapping, lambda a: False) == 320
+
+    def test_resident_predictions_skipped(self):
+        pf, channel, mapping = make_prefetcher(degree=1)
+        for addr in (0, 64, 128, 192):
+            pf.on_demand_miss(addr, pc=1)
+        assert pf.select(channel, mapping, lambda a: True) is None
+
+    def test_streams_tracked_per_pc(self):
+        pf, channel, mapping = make_prefetcher(degree=1)
+        # Interleaved misses from two sites with different strides.
+        for i in range(4):
+            pf.on_demand_miss(i * 64, pc=1)
+            pf.on_demand_miss(0x10000 + i * 128, pc=2)
+        picks = set()
+        while pf.has_work():
+            picks.add(pf.select(channel, mapping, lambda a: False))
+        assert 4 * 64 in picks
+        assert (0x10000 + 4 * 128) & ~63 in picks
+
+    def test_table_capacity_evicts_lru_site(self):
+        pf, channel, mapping = make_prefetcher(table_entries=2)
+        pf.on_demand_miss(0, pc=1)
+        pf.on_demand_miss(0x1000, pc=2)
+        pf.on_demand_miss(0x2000, pc=3)  # evicts pc=1
+        assert 1 not in pf._table
+        assert 3 in pf._table
+
+    def test_never_throttled(self):
+        pf, _, _ = make_prefetcher()
+        assert not pf.throttled
+        pf.record_outcome(False)  # interface no-op

@@ -1,0 +1,80 @@
+"""End-to-end tests of the System wrapper."""
+
+import pytest
+
+from repro import System, SystemConfig, presets, simulate
+from repro.workloads import build_trace
+from repro.workloads.registry import build_warmup_trace
+
+
+class TestSystem:
+    def test_run_produces_stats(self):
+        stats = System(SystemConfig()).run(build_trace("gzip", 1500))
+        assert stats.instructions > 0
+        assert stats.cycles > 0
+        assert 0 < stats.ipc <= 4.0
+
+    def test_runs_accumulate(self):
+        system = System(SystemConfig())
+        trace = build_trace("gzip", 800)
+        system.run(trace)
+        first = system.stats.instructions
+        system.run(trace)
+        assert system.stats.instructions == 2 * first
+
+    def test_deterministic(self):
+        trace = build_trace("parser", 2000)
+        a = simulate(trace, SystemConfig())
+        b = simulate(trace, SystemConfig())
+        assert a.cycles == b.cycles
+        assert a.l2_demand_fetches == b.l2_demand_fetches
+
+    def test_warmup_resets_stats_but_keeps_state(self):
+        system = System(SystemConfig())
+        warm = build_warmup_trace("gzip")
+        system.warmup(warm)
+        assert system.stats.instructions == 0
+        occupancy = system.hierarchy.l2.occupancy()
+        assert occupancy > 0  # caches stay warm
+
+    def test_warmup_lowers_measured_miss_rate(self):
+        trace = build_trace("gzip", 3000)
+        warm = build_warmup_trace("gzip")
+        cold = simulate(trace, SystemConfig())
+        warmed = simulate(trace, SystemConfig(), warmup_trace=warm)
+        assert warmed.l2_miss_rate < cold.l2_miss_rate
+
+    def test_utilization_consistent_after_warmup(self):
+        """Busy counters reset with the stats; utilization stays in [0,1]."""
+        system = System(SystemConfig())
+        system.warmup(build_warmup_trace("swim"))
+        stats = system.run(build_trace("swim", 2000))
+        assert 0.0 <= stats.data_channel_utilization <= 1.0
+        assert 0.0 <= stats.command_channel_utilization <= 1.0
+
+
+class TestPresets:
+    @pytest.mark.parametrize("factory", [
+        presets.base_4ch_64b,
+        presets.xor_4ch_64b,
+        presets.prefetch_4ch_64b,
+        presets.xor_8ch_256b,
+        presets.prefetch_8ch_256b,
+        presets.perfect_l2,
+        presets.perfect_memory,
+        presets.unscheduled_prefetch_4ch_64b,
+        presets.scheduled_fifo_prefetch_4ch_64b,
+    ])
+    def test_all_presets_run(self, factory):
+        stats = simulate(build_trace("gap", 800), factory())
+        assert stats.ipc > 0
+
+    def test_preset_fields(self):
+        assert presets.base_4ch_64b().dram.mapping == "base"
+        assert presets.xor_4ch_64b().dram.mapping == "xor"
+        assert presets.prefetch_4ch_64b().prefetch.enabled
+        assert presets.prefetch_4ch_64b().prefetch.policy == "lifo"
+        assert presets.xor_8ch_256b().dram.channels == 8
+        assert presets.xor_8ch_256b().l2.block_bytes == 256
+        assert not presets.unscheduled_prefetch_4ch_64b().prefetch.scheduled
+        assert presets.scheduled_fifo_prefetch_4ch_64b().prefetch.policy == "fifo"
