@@ -126,9 +126,26 @@ class SetAssociativeCache:
         The victim (not yet written back) is returned so the caller can
         schedule the writeback; clean victims are returned too so the
         caller can count evictions uniformly.
+
+        Filling a block that is already resident — reachable when a
+        drained prefetch and the demand fetch target the same block in
+        one call chain — merges into the existing line instead of
+        installing a duplicate: the earliest ``ready_time`` wins (the
+        data is there once the first fill lands) and dirty bits OR
+        together.  A demand fill merging into a still-flagged prefetch
+        clears the flag without reporting an outcome: the demand paid
+        the full fetch latency, so the prefetch was neither useful nor
+        evicted.
         """
         block = self.block_address(addr)
         lines = self._set_for(block)
+        for line in lines:
+            if line.addr == block:
+                line.dirty = line.dirty or dirty
+                line.ready_time = min(line.ready_time, ready_time)
+                if not prefetched:
+                    line.prefetched = False
+                return None
         victim = None
         if len(lines) >= self.config.assoc:
             victim = lines.pop()

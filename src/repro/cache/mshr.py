@@ -39,7 +39,7 @@ class MSHRFile:
         self.stalls += 1
         wait_until = heapq.heappop(heap)
         # Entries completing at the same instant free together.
-        while heap and heap[0] <= wait_until and len(heap) >= self.entries:
+        while heap and heap[0] <= wait_until:
             heapq.heappop(heap)
         return wait_until
 

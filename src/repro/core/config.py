@@ -12,9 +12,10 @@ converted to CPU cycles by the simulator using ``CoreConfig.clock_ghz``.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import asdict, dataclass, field, replace
 
 __all__ = [
     "CoreConfig",
@@ -357,6 +358,17 @@ class SystemConfig:
             raise ConfigError("L2 block size must be a multiple of the L1 block size")
         if self.prefetch.enabled and self.prefetch.region_bytes < self.l2.block_bytes:
             raise ConfigError("prefetch region must be >= one L2 block")
+
+    def digest(self) -> str:
+        """Stable content hash of this configuration.
+
+        Equal field values produce equal digests across processes and
+        interpreter sessions (canonical JSON over the dataclass tree,
+        SHA-256); the experiment runner keys its on-disk result cache
+        on it.
+        """
+        payload = json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()
 
     # -- convenience builders -------------------------------------------------
 

@@ -60,6 +60,10 @@ def format_report(stats: SimStats, config: Optional[SystemConfig] = None) -> str
     out.extend(_cache_lines("L1D", stats.l1d))
     out.extend(_cache_lines("L2", stats.l2))
     out.append(
+        f"  MSHR stalls   L1D {stats.l1d_mshr_stalls:>8d}"
+        f"   L1I {stats.l1i_mshr_stalls:>8d}"
+    )
+    out.append(
         f"  L2 demand fetches {stats.l2_demand_fetches:>8d}"
         f"   miss rate {_pct(stats.l2_miss_rate)}"
         f"   avg miss latency {stats.avg_l2_miss_latency:7.1f} cyc"

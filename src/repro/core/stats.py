@@ -63,6 +63,13 @@ class CacheStats:
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
+    def to_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "CacheStats":
+        return cls(**{f.name: data[f.name] for f in fields(cls) if f.name in data})
+
 
 @dataclass
 class DRAMClassStats:
@@ -91,6 +98,13 @@ class DRAMClassStats:
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
+    def to_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "DRAMClassStats":
+        return cls(**{f.name: data[f.name] for f in fields(cls) if f.name in data})
+
 
 @dataclass
 class SimStats:
@@ -108,6 +122,10 @@ class SimStats:
     l1i: CacheStats = field(default_factory=CacheStats)
     l1d: CacheStats = field(default_factory=CacheStats)
     l2: CacheStats = field(default_factory=CacheStats)
+
+    #: misses that had to wait for a free L1 MSHR (structural stalls).
+    l1d_mshr_stalls: int = 0
+    l1i_mshr_stalls: int = 0
 
     #: cycles spent by demand L2 misses waiting for DRAM (sum / count).
     l2_demand_fetches: int = 0
@@ -193,6 +211,8 @@ class SimStats:
             "ipc": self.ipc,
             "l1d_miss_rate": self.l1d.miss_rate,
             "l1i_miss_rate": self.l1i.miss_rate,
+            "l1d_mshr_stalls": self.l1d_mshr_stalls,
+            "l1i_mshr_stalls": self.l1i_mshr_stalls,
             "l2_accesses": self.l2.accesses,
             "l2_miss_rate": self.l2_miss_rate,
             "avg_l2_miss_latency": self.avg_l2_miss_latency,
@@ -218,6 +238,40 @@ class SimStats:
                 setattr(self, f.name, 0.0)
             else:
                 setattr(self, f.name, 0)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form of every counter (JSON-serializable).
+
+        The round trip through :meth:`from_dict` is exact — ints stay
+        ints and floats are preserved bit for bit — so results restored
+        from the experiment runner's on-disk cache are indistinguishable
+        from freshly simulated ones.
+        """
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, (CacheStats, DRAMClassStats)):
+                out[f.name] = value.to_dict()
+            else:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimStats":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored and
+        missing ones keep their defaults (a version bump invalidates
+        cached results, so this only has to absorb additive drift)."""
+        stats = cls()
+        for f in fields(cls):
+            if f.name not in data:
+                continue
+            value = data[f.name]
+            current = getattr(stats, f.name)
+            if isinstance(current, (CacheStats, DRAMClassStats)):
+                setattr(stats, f.name, type(current).from_dict(value))
+            else:
+                setattr(stats, f.name, value)
+        return stats
 
     def merge(self, other: "SimStats") -> None:
         """Accumulate another run's counters into this one.

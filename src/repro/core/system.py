@@ -9,6 +9,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.core.config import SystemConfig
 from repro.core.stats import SimStats
@@ -49,7 +51,7 @@ class System:
 def simulate(
     trace: Trace,
     config: SystemConfig,
-    warmup_trace: Trace = None,
+    warmup_trace: Optional[Trace] = None,
 ) -> SimStats:
     """Run ``trace`` on a fresh system built from ``config``.
 

@@ -162,4 +162,6 @@ class OutOfOrderCore:
         self.hierarchy.finish(finish)
         stats.instructions += inst_count
         stats.cycles += finish - start_time
+        stats.l1d_mshr_stalls += d_mshrs.stalls
+        stats.l1i_mshr_stalls += i_mshrs.stalls
         return finish

@@ -17,7 +17,7 @@ channel and inflating miss latency dramatically.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional
 
 from repro.core.config import CoreConfig, DRAMConfig, PrefetchConfig
 from repro.core.stats import SimStats

@@ -25,7 +25,7 @@ from repro.experiments.common import (
     active_profile,
     format_table,
     harmonic_mean,
-    run_benchmark,
+    run_points,
     speedup,
 )
 
@@ -56,17 +56,26 @@ def run(
     sizes_mb: Tuple[int, ...] = DEFAULT_SIZES_MB,
 ) -> CacheSizeResult:
     profile = profile or active_profile()
+    grid = [(size, pf) for size in sizes_mb for pf in (False, True)]
+    results = iter(
+        run_points(
+            [
+                (name, (prefetch_4ch_64b() if pf else xor_4ch_64b()).with_l2_size(size << 20))
+                for size, pf in grid
+                for name in profile.benchmarks
+            ],
+            profile,
+        )
+    )
     mean_ipc: Dict[Tuple[int, bool], float] = {}
     per_bench: Dict[Tuple[str, int, bool], float] = {}
-    for size in sizes_mb:
-        for pf in (False, True):
-            config = (prefetch_4ch_64b() if pf else xor_4ch_64b()).with_l2_size(size << 20)
-            ipcs = []
-            for name in profile.benchmarks:
-                ipc = run_benchmark(name, config, profile).ipc
-                per_bench[(name, size, pf)] = ipc
-                ipcs.append(ipc)
-            mean_ipc[(size, pf)] = harmonic_mean(ipcs)
+    for size, pf in grid:
+        ipcs = []
+        for name in profile.benchmarks:
+            ipc = next(results).ipc
+            per_bench[(name, size, pf)] = ipc
+            ipcs.append(ipc)
+        mean_ipc[(size, pf)] = harmonic_mean(ipcs)
     largest = max(sizes_mb)
     winners = tuple(
         name for name in profile.benchmarks

@@ -2,17 +2,29 @@
 
 Runs one experiment (or ``all``) and prints the paper-style table plus
 the paper-reported reference values for comparison.
+
+Simulation points are executed through the :mod:`repro.runner`
+subsystem: ``--jobs N`` fans points across a process pool (default:
+``REPRO_JOBS``, else serial), and results persist in an on-disk cache
+(``--cache-dir``, default ``REPRO_CACHE_DIR``, else
+``~/.cache/repro``) so re-running an experiment — or another
+experiment sharing points with it — only simulates what it has never
+seen.  ``--no-cache`` disables persistence; any change to the
+simulator source, a ``RESULT_VERSION`` bump, or a package version bump
+invalidates every cached entry.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import os
 import sys
 import time
 from typing import List, Optional
 
 from repro.experiments.common import PROFILES
+from repro.runner import Runner, set_runner
 
 __all__ = ["EXPERIMENTS", "main"]
 
@@ -33,6 +45,13 @@ EXPERIMENTS = {
 }
 
 
+def default_cache_dir() -> str:
+    """``REPRO_CACHE_DIR`` when set, else ``~/.cache/repro``."""
+    return os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+        os.path.expanduser("~"), ".cache", "repro"
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
@@ -49,7 +68,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="simulation effort (default: REPRO_PROFILE env var, else 'quick')",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="simulate up to N points in parallel (default: REPRO_JOBS, else 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="on-disk result cache (default: REPRO_CACHE_DIR, else ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per completed simulation job to stderr",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    try:
+        runner = Runner(jobs=args.jobs, cache_dir=cache_dir, progress=args.progress)
+    except OSError as error:
+        parser.error(f"cannot use cache dir {cache_dir!r}: {error}")
+    set_runner(runner)
 
     profile = PROFILES[args.profile] if args.profile else None
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -58,7 +109,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         started = time.time()
         result = module.run(profile)
         print(module.render(result))
-        print(f"[{name}: {time.time() - started:.1f}s]\n")
+        print()
+        # timing and runner diagnostics go to stderr: stdout must be
+        # byte-identical regardless of --jobs / cache state.
+        print(f"[{name}: {time.time() - started:.1f}s]", file=sys.stderr)
+    summary = runner.summary()
+    print(
+        f"[runner: jobs={summary['jobs']} simulated={summary['simulated']}"
+        f" cache-hits={summary['disk_hits']} reused={summary['reused']}"
+        f" sim-time={summary['sim_seconds']}s]",
+        file=sys.stderr,
+    )
     return 0
 
 

@@ -13,6 +13,12 @@ Every experiment module exposes ``run(profile) -> *Result`` and
   simulating it),
 * warm-up handling: each benchmark's trace is split, the head warms the
   caches and is excluded from the measured statistics,
+* point submission: :func:`run_benchmark`, :func:`run_suite`, and
+  :func:`run_points` all route through the process-wide
+  :class:`repro.runner.Runner`, which deduplicates identical
+  (benchmark, config, profile) points, serves them from its result
+  cache, and fans fresh work across a process pool when ``--jobs`` /
+  ``REPRO_JOBS`` asks for one,
 * speedup/aggregation helpers and an ASCII table renderer.
 """
 
@@ -26,10 +32,10 @@ import numpy as np
 
 from repro.core.config import SystemConfig
 from repro.core.stats import SimStats, harmonic_mean
-from repro.core.system import System
 from repro.cpu.trace import Trace
-from repro.workloads import BENCHMARKS, build_trace
-from repro.workloads.registry import build_warmup_trace
+from repro.runner import SimPoint, get_runner
+from repro.runner import worker as _worker
+from repro.workloads import BENCHMARKS
 
 __all__ = [
     "Profile",
@@ -37,6 +43,7 @@ __all__ = [
     "active_profile",
     "get_traces",
     "run_benchmark",
+    "run_points",
     "run_suite",
     "speedup",
     "format_table",
@@ -80,34 +87,49 @@ def active_profile(default: str = "quick") -> Profile:
 
 # -- trace handling --------------------------------------------------------------
 
-_TRACE_MEMO: Dict[Tuple[str, int, int, int], Tuple[Trace, Trace]] = {}
-_TRACE_MEMO_LIMIT = 8
-
-
 def get_traces(
     benchmark: str,
     profile: Profile,
     l2_bytes: int = 1 << 20,
 ) -> Tuple[Optional[Trace], Trace]:
-    """(warm-up initialization trace, measured trace) for one benchmark."""
-    key = (benchmark, profile.memory_refs, profile.seed, l2_bytes)
-    if key not in _TRACE_MEMO:
-        if len(_TRACE_MEMO) >= _TRACE_MEMO_LIMIT:
-            _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
-        warm = build_warmup_trace(benchmark, seed=profile.seed, l2_bytes=l2_bytes)
-        main = build_trace(benchmark, profile.memory_refs, seed=profile.seed)
-        _TRACE_MEMO[key] = (warm, main)
-    warm, main = _TRACE_MEMO[key]
-    return (warm if len(warm) else None), main
+    """(warm-up initialization trace, measured trace) for one benchmark.
+
+    Delegates to the runner worker's per-process memo, so experiments
+    and pool workers share one trace-construction path.
+    """
+    return _worker.get_traces(benchmark, profile.memory_refs, profile.seed, l2_bytes)
+
+
+# -- point submission -------------------------------------------------------------
+
+def run_points(
+    points: Sequence[Tuple[str, SystemConfig]],
+    profile: Profile,
+) -> List[SimStats]:
+    """Resolve a batch of (benchmark, config) points, in order.
+
+    This is the experiments' one entry to the simulator: the whole
+    batch goes to the default :class:`repro.runner.Runner` in a single
+    call, so duplicate points collapse, cached points return instantly,
+    and the rest fan across the process pool.
+    """
+    runner = get_runner()
+    return runner.run_points(
+        [
+            SimPoint(
+                benchmark=benchmark,
+                config=config,
+                memory_refs=profile.memory_refs,
+                seed=profile.seed,
+            )
+            for benchmark, config in points
+        ]
+    )
 
 
 def run_benchmark(benchmark: str, config: SystemConfig, profile: Profile) -> SimStats:
     """Simulate one benchmark under one configuration (with warm-up)."""
-    warm, main = get_traces(benchmark, profile, l2_bytes=config.l2.size_bytes)
-    system = System(config)
-    if warm is not None:
-        system.warmup(warm)
-    return system.run(main)
+    return run_points([(benchmark, config)], profile)[0]
 
 
 def run_suite(
@@ -117,7 +139,7 @@ def run_suite(
 ) -> Dict[str, SimStats]:
     """Run every benchmark of the profile under ``config``."""
     names = tuple(benchmarks) if benchmarks is not None else profile.benchmarks
-    return {name: run_benchmark(name, config, profile) for name in names}
+    return dict(zip(names, run_points([(name, config) for name in names], profile)))
 
 
 # -- aggregation -----------------------------------------------------------------

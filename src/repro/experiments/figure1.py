@@ -25,7 +25,7 @@ from repro.experiments.common import (
     active_profile,
     format_table,
     harmonic_mean,
-    run_benchmark,
+    run_points,
 )
 
 __all__ = ["Figure1Row", "Figure1Result", "run", "render"]
@@ -88,14 +88,19 @@ def run(profile: Optional[Profile] = None) -> Figure1Result:
     real_cfg = base_4ch_64b()
     l2_cfg = replace(real_cfg, perfect_l2=True)
     mem_cfg = replace(real_cfg, perfect_memory=True)
+    targets = (real_cfg, l2_cfg, mem_cfg)
+    results = run_points(
+        [(name, cfg) for name in profile.benchmarks for cfg in targets], profile
+    )
     rows: List[Figure1Row] = []
-    for name in profile.benchmarks:
+    for i, name in enumerate(profile.benchmarks):
+        real, pl2, pmem = results[i * len(targets) : (i + 1) * len(targets)]
         rows.append(
             Figure1Row(
                 benchmark=name,
-                ipc_real=run_benchmark(name, real_cfg, profile).ipc,
-                ipc_perfect_l2=run_benchmark(name, l2_cfg, profile).ipc,
-                ipc_perfect_mem=run_benchmark(name, mem_cfg, profile).ipc,
+                ipc_real=real.ipc,
+                ipc_perfect_l2=pl2.ipc,
+                ipc_perfect_mem=pmem.ipc,
             )
         )
     # Figure 1 orders benchmarks by L2 stall fraction.
@@ -118,7 +123,7 @@ def render(result: Figure1Result, chart: bool = True) -> str:
         f"\nsuite (harmonic mean): {result.mean_l2_stall_fraction:.0%} L2-miss time, "
         f"{result.mean_l1_stall_fraction:.0%} L1-miss time, "
         f"{result.mean_compute_fraction:.0%} compute   "
-        f"(paper: 57% / 12% / 31%)"
+        "(paper: 57% / 12% / 31%)"
     )
     text = table + summary
     if chart:

@@ -33,7 +33,7 @@ from repro.experiments.common import (
     active_profile,
     format_table,
     harmonic_mean,
-    run_benchmark,
+    run_points,
     speedup,
 )
 from repro.workloads import FIGURE5_WINNERS
@@ -98,10 +98,14 @@ class Figure5Result:
 def run(profile: Optional[Profile] = None) -> Figure5Result:
     profile = profile or active_profile()
     benchmarks = tuple(b for b in FIGURE5_WINNERS if b in profile.benchmarks) or FIGURE5_WINNERS
-    ipc: Dict[Tuple[str, str], float] = {}
-    for target, config in _configs().items():
-        for name in benchmarks:
-            ipc[(name, target)] = run_benchmark(name, config, profile).ipc
+    configs = _configs()
+    keys = [(name, target) for target in configs for name in benchmarks]
+    results = run_points(
+        [(name, configs[target]) for name, target in keys], profile
+    )
+    ipc: Dict[Tuple[str, str], float] = {
+        key: stats.ipc for key, stats in zip(keys, results)
+    }
     return Figure5Result(ipc=ipc, benchmarks=benchmarks)
 
 
@@ -119,7 +123,7 @@ def render(result: Figure5Result) -> str:
         f"prefetch speedup {result.prefetch_speedup:+.1%} (paper +43%); "
         f"8ch/256B+PF over 4ch base {result.best_speedup_over_base:+.1%} (paper +118%)"
         f"\n4ch+PF beats 8ch-noPF on {result.pf4_beats_8ch_count}/{len(result.benchmarks)} "
-        f"(paper 8/10); 8ch+PF within 10% of perfect L2 on "
+        "(paper 8/10); 8ch+PF within 10% of perfect L2 on "
         f"{result.within_10pct_of_perfect_count}/{len(result.benchmarks)} (paper 8/10)"
     )
     return table + summary

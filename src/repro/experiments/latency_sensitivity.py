@@ -23,7 +23,7 @@ from repro.experiments.common import (
     active_profile,
     format_table,
     harmonic_mean,
-    run_benchmark,
+    run_points,
     speedup,
 )
 
@@ -58,14 +58,22 @@ def run(
     parts: Tuple[Tuple[str, str, float], ...] = DEFAULT_PARTS,
 ) -> LatencySensitivityResult:
     profile = profile or active_profile()
-    mean_ipc: Dict[Tuple[str, bool], float] = {}
+    grid = []
     for label, part_name, _clock in parts:
         part: DRDRAMPart = DRAM_PARTS[part_name]
         for pf in (False, True):
             config = (prefetch_4ch_64b() if pf else xor_4ch_64b()).with_part(part)
-            mean_ipc[(label, pf)] = harmonic_mean(
-                [run_benchmark(name, config, profile).ipc for name in profile.benchmarks]
-            )
+            grid.append(((label, pf), config))
+    results = iter(
+        run_points(
+            [(name, config) for _, config in grid for name in profile.benchmarks],
+            profile,
+        )
+    )
+    mean_ipc: Dict[Tuple[str, bool], float] = {
+        key: harmonic_mean([next(results).ipc for _ in profile.benchmarks])
+        for key, _ in grid
+    }
     return LatencySensitivityResult(
         mean_ipc=mean_ipc, labels=tuple(label for label, _, _ in parts)
     )

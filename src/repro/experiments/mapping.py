@@ -18,7 +18,7 @@ from repro.experiments.common import (
     active_profile,
     format_table,
     harmonic_mean,
-    run_benchmark,
+    run_points,
     speedup,
 )
 
@@ -73,10 +73,16 @@ class MappingResult:
 
 def run(profile: Optional[Profile] = None) -> MappingResult:
     profile = profile or active_profile()
+    configs = (base_4ch_64b(), xor_4ch_64b())
+    results = iter(
+        run_points(
+            [(name, cfg) for name in profile.benchmarks for cfg in configs], profile
+        )
+    )
     rows = []
     for name in profile.benchmarks:
-        base = run_benchmark(name, base_4ch_64b(), profile)
-        xor = run_benchmark(name, xor_4ch_64b(), profile)
+        base = next(results)
+        xor = next(results)
         rows.append(
             MappingRow(
                 benchmark=name,
@@ -105,7 +111,7 @@ def render(result: MappingResult) -> str:
     summary = (
         f"\nmean speedup {result.mean_speedup:+.1%} (paper +16%); "
         f"read row-hit {result.mean_read_hit_base:.0%}->{result.mean_read_hit_xor:.0%} "
-        f"(paper 51%->72%); writeback row-hit "
+        "(paper 51%->72%); writeback row-hit "
         f"{result.mean_wb_hit_base:.0%}->{result.mean_wb_hit_xor:.0%} (paper 28%->55%)"
     )
     return table + summary

@@ -17,7 +17,7 @@ from repro.experiments.common import (
     active_profile,
     format_table,
     harmonic_mean,
-    run_benchmark,
+    run_points,
     speedup,
 )
 
@@ -46,15 +46,20 @@ def run(
     region_sizes: Tuple[int, ...] = DEFAULT_REGION_SIZES,
 ) -> RegionSizeResult:
     profile = profile or active_profile()
-    baseline = harmonic_mean(
-        [run_benchmark(name, xor_4ch_64b(), profile).ipc for name in profile.benchmarks]
-    )
-    mean_ipc: Dict[int, float] = {}
-    for region in region_sizes:
-        config = prefetch_4ch_64b(region_bytes=region)
-        mean_ipc[region] = harmonic_mean(
-            [run_benchmark(name, config, profile).ipc for name in profile.benchmarks]
+    configs = [xor_4ch_64b()] + [
+        prefetch_4ch_64b(region_bytes=region) for region in region_sizes
+    ]
+    results = iter(
+        run_points(
+            [(name, config) for config in configs for name in profile.benchmarks],
+            profile,
         )
+    )
+    baseline = harmonic_mean([next(results).ipc for _ in profile.benchmarks])
+    mean_ipc: Dict[int, float] = {
+        region: harmonic_mean([next(results).ipc for _ in profile.benchmarks])
+        for region in region_sizes
+    }
     return RegionSizeResult(mean_ipc=mean_ipc, baseline_ipc=baseline, region_sizes=region_sizes)
 
 

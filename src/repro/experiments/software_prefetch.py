@@ -15,14 +15,14 @@ the now-useless prefetch instructions still cost issue slots).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.core.presets import prefetch_4ch_64b, xor_4ch_64b
 from repro.experiments.common import (
     Profile,
     active_profile,
     format_table,
-    run_benchmark,
+    run_points,
 )
 
 __all__ = ["SoftwarePrefetchRow", "SoftwarePrefetchResult", "run", "render", "SWPF_BENCHMARKS"]
@@ -69,21 +69,29 @@ def run(
     names = benchmarks or tuple(b for b in SWPF_BENCHMARKS if b in profile.benchmarks)
     if not names:
         names = SWPF_BENCHMARKS
+    base = xor_4ch_64b()
+    region = prefetch_4ch_64b()
+    configs = (
+        base,
+        replace(base, software_prefetch=True),
+        region,
+        replace(region, software_prefetch=True),
+    )
+    results = iter(
+        run_points([(name, cfg) for name in names for cfg in configs], profile)
+    )
     rows = []
     for name in names:
-        base = xor_4ch_64b()
-        region = prefetch_4ch_64b()
+        ipc_base, ipc_base_sw, ipc_region, ipc_region_sw = (
+            next(results).ipc for _ in configs
+        )
         rows.append(
             SoftwarePrefetchRow(
                 benchmark=name,
-                ipc_base=run_benchmark(name, base, profile).ipc,
-                ipc_base_sw=run_benchmark(
-                    name, replace(base, software_prefetch=True), profile
-                ).ipc,
-                ipc_region=run_benchmark(name, region, profile).ipc,
-                ipc_region_sw=run_benchmark(
-                    name, replace(region, software_prefetch=True), profile
-                ).ipc,
+                ipc_base=ipc_base,
+                ipc_base_sw=ipc_base_sw,
+                ipc_region=ipc_region,
+                ipc_region_sw=ipc_region_sw,
             )
         )
     return SoftwarePrefetchResult(rows=tuple(rows))

@@ -25,7 +25,7 @@ from repro.experiments.common import (
     format_table,
     geometric_block_sizes,
     harmonic_mean,
-    run_benchmark,
+    run_points,
 )
 
 __all__ = ["Table1Row", "Table1Result", "run", "render", "DEFAULT_BLOCK_SIZES"]
@@ -73,12 +73,23 @@ def run(
     block_sizes: Tuple[int, ...] = DEFAULT_BLOCK_SIZES,
 ) -> Table1Result:
     profile = profile or active_profile()
+    base = base_4ch_64b()
+    results = iter(
+        run_points(
+            [
+                (name, base.with_block_size(block))
+                for name in profile.benchmarks
+                for block in block_sizes
+            ],
+            profile,
+        )
+    )
     rows = []
     for name in profile.benchmarks:
         ipcs: Dict[int, float] = {}
         rates: Dict[int, float] = {}
         for block in block_sizes:
-            stats = run_benchmark(name, base_4ch_64b().with_block_size(block), profile)
+            stats = next(results)
             ipcs[block] = stats.ipc
             rates[block] = stats.l2_miss_rate
         rows.append(Table1Row(benchmark=name, ipc_by_block=ipcs, miss_rate_by_block=rates))

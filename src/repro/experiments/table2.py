@@ -18,7 +18,7 @@ from repro.experiments.common import (
     active_profile,
     format_table,
     harmonic_mean,
-    run_benchmark,
+    run_points,
 )
 
 __all__ = ["Table2Result", "run", "render", "DEFAULT_CHANNELS", "DEFAULT_BLOCKS"]
@@ -45,12 +45,21 @@ def run(
     blocks: Tuple[int, ...] = DEFAULT_BLOCKS,
 ) -> Table2Result:
     profile = profile or active_profile()
+    grid = [(ch, block) for ch in channels for block in blocks]
+    results = iter(
+        run_points(
+            [
+                (name, base_4ch_64b().with_channels(ch).with_block_size(block))
+                for ch, block in grid
+                for name in profile.benchmarks
+            ],
+            profile,
+        )
+    )
     mean_ipc: Dict[Tuple[int, int], float] = {}
-    for ch in channels:
-        for block in blocks:
-            config = base_4ch_64b().with_channels(ch).with_block_size(block)
-            ipcs = [run_benchmark(name, config, profile).ipc for name in profile.benchmarks]
-            mean_ipc[(ch, block)] = harmonic_mean(ipcs)
+    for ch, block in grid:
+        ipcs = [next(results).ipc for _ in profile.benchmarks]
+        mean_ipc[(ch, block)] = harmonic_mean(ipcs)
     return Table2Result(mean_ipc=mean_ipc, channels=channels, blocks=blocks)
 
 

@@ -21,7 +21,7 @@ from repro.experiments.common import (
     active_profile,
     format_table,
     harmonic_mean,
-    run_benchmark,
+    run_points,
 )
 from repro.workloads import HIGH_ACCURACY, LOW_ACCURACY
 
@@ -46,14 +46,28 @@ def run(profile: Optional[Profile] = None) -> Table3Result:
         "high": [b for b in profile.benchmarks if b in HIGH_ACCURACY],
         "low": [b for b in profile.benchmarks if b in LOW_ACCURACY],
     }
+    configs = {
+        priority: prefetch_4ch_64b().with_prefetch(insertion=priority)
+        for priority in INSERTION_PRIORITIES
+    }
+    class_names = [name for names in classes.values() for name in names]
+    results = iter(
+        run_points(
+            [
+                (name, configs[priority])
+                for priority in INSERTION_PRIORITIES
+                for name in class_names
+            ],
+            profile,
+        )
+    )
     accuracy: Dict[Tuple[str, str], float] = {}
     mean_ipc: Dict[Tuple[str, str], float] = {}
     for priority in INSERTION_PRIORITIES:
-        config = prefetch_4ch_64b().with_prefetch(insertion=priority)
         for klass, names in classes.items():
+            stats = [next(results) for _ in names]
             if not names:
                 continue
-            stats = [run_benchmark(name, config, profile) for name in names]
             accuracy[(klass, priority)] = sum(s.prefetch_accuracy for s in stats) / len(stats)
             mean_ipc[(klass, priority)] = harmonic_mean([s.ipc for s in stats])
     return Table3Result(accuracy=accuracy, mean_ipc=mean_ipc, priorities=INSERTION_PRIORITIES)

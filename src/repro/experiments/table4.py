@@ -20,7 +20,7 @@ nearly all the miss-rate benefit at almost no latency cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.core.presets import (
     prefetch_4ch_64b,
@@ -33,7 +33,7 @@ from repro.experiments.common import (
     active_profile,
     format_table,
     harmonic_mean,
-    run_benchmark,
+    run_points,
 )
 
 __all__ = ["SCHEMES", "Table4Result", "run", "render"]
@@ -62,11 +62,22 @@ class Table4Result:
 
 def run(profile: Optional[Profile] = None) -> Table4Result:
     profile = profile or active_profile()
+    configs = _configs()
+    results = iter(
+        run_points(
+            [
+                (name, config)
+                for config in configs.values()
+                for name in profile.benchmarks
+            ],
+            profile,
+        )
+    )
     miss_rate: Dict[str, float] = {}
     miss_latency: Dict[str, float] = {}
     ipc: Dict[str, float] = {}
-    for scheme, config in _configs().items():
-        stats = [run_benchmark(name, config, profile) for name in profile.benchmarks]
+    for scheme in configs:
+        stats = [next(results) for _ in profile.benchmarks]
         miss_rate[scheme] = sum(s.l2_miss_rate for s in stats) / len(stats)
         miss_latency[scheme] = sum(s.avg_l2_miss_latency for s in stats) / len(stats)
         ipc[scheme] = harmonic_mean([s.ipc for s in stats])

@@ -10,14 +10,14 @@ vs. twolf reaching 90% for a 2% gain at 7% accuracy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.core.presets import prefetch_4ch_64b, xor_4ch_64b
 from repro.experiments.common import (
     Profile,
     active_profile,
     format_table,
-    run_benchmark,
+    run_points,
 )
 
 __all__ = ["UtilizationRow", "UtilizationResult", "run", "render"]
@@ -60,10 +60,16 @@ class UtilizationResult:
 
 def run(profile: Optional[Profile] = None) -> UtilizationResult:
     profile = profile or active_profile()
+    configs = (xor_4ch_64b(), prefetch_4ch_64b())
+    results = iter(
+        run_points(
+            [(name, cfg) for name in profile.benchmarks for cfg in configs], profile
+        )
+    )
     rows = []
     for name in profile.benchmarks:
-        base = run_benchmark(name, xor_4ch_64b(), profile)
-        pf = run_benchmark(name, prefetch_4ch_64b(), profile)
+        base = next(results)
+        pf = next(results)
         rows.append(
             UtilizationRow(
                 benchmark=name,

@@ -1,0 +1,25 @@
+"""Parallel, cached experiment runner.
+
+See :mod:`repro.runner.runner` for the execution model and
+:mod:`repro.runner.cache` for the on-disk result store.
+"""
+
+from repro.runner.cache import ResultCache
+from repro.runner.runner import (
+    RESULT_VERSION,
+    JobResult,
+    Runner,
+    SimPoint,
+    get_runner,
+    set_runner,
+)
+
+__all__ = [
+    "RESULT_VERSION",
+    "JobResult",
+    "ResultCache",
+    "Runner",
+    "SimPoint",
+    "get_runner",
+    "set_runner",
+]

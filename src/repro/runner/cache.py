@@ -1,0 +1,76 @@
+"""Deterministic on-disk result cache for simulation points.
+
+One JSON file per cached point, named by the point's content-hash key
+(see :meth:`repro.runner.runner.SimPoint.cache_key`) and sharded into
+256 two-hex-digit subdirectories so even large sweeps keep directory
+listings cheap.  Writes go through a temporary file in the same
+directory followed by an atomic ``os.replace``, so concurrent runners
+sharing a cache directory can never observe a torn entry.
+
+Corrupt or unreadable entries are treated as misses and overwritten on
+the next store; the cache is purely an accelerator and never the source
+of truth.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Content-addressed store of JSON payloads under one root directory."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict]:
+        """Payload stored under ``key``, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, payload: Dict) -> None:
+        """Atomically store ``payload`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("??/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

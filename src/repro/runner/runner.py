@@ -1,0 +1,270 @@
+"""Parallel, cached execution of (benchmark, config, workload) points.
+
+The experiment harnesses regenerate twelve paper artifacts, and many of
+them revisit identical simulation points — the same benchmark under the
+same configuration at the same workload size.  A :class:`Runner`
+deduplicates those points behind a content hash and executes the
+remainder either inline or fanned across a process pool:
+
+* **keying** — a :class:`SimPoint` hashes its complete identity
+  (:meth:`SystemConfig.digest`, benchmark name, ``memory_refs``,
+  ``seed``, plus :data:`RESULT_VERSION` and the package version), so
+  two points collide exactly when their simulations are bit-identical;
+* **in-memory memo** — every resolved point is kept for the life of the
+  runner, collapsing repeats both within one batch and across
+  experiments;
+* **on-disk cache** — optionally, results persist as JSON under a cache
+  directory (see :class:`~repro.runner.cache.ResultCache`); bumping
+  :data:`RESULT_VERSION` (or the package version) busts every entry;
+* **determinism** — all paths return statistics through the same
+  ``SimStats.to_dict``/``from_dict`` round trip, so cached, pooled, and
+  inline results are field-for-field identical.
+
+The module-level default runner (:func:`get_runner` / :func:`set_runner`)
+is what :func:`repro.experiments.common.run_benchmark` submits through;
+it honours the ``REPRO_JOBS`` and ``REPRO_CACHE_DIR`` environment
+variables, and ``repro-experiment`` overrides it from ``--jobs`` /
+``--cache-dir`` / ``--no-cache``.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import __version__
+from repro.core.config import SystemConfig
+from repro.core.stats import SimStats
+from repro.runner.cache import ResultCache
+from repro.runner.worker import execute_point
+
+__all__ = [
+    "RESULT_VERSION",
+    "SimPoint",
+    "JobResult",
+    "Runner",
+    "get_runner",
+    "set_runner",
+]
+
+#: bump to invalidate every previously cached result (e.g. after a
+#: change to the simulator's timing behaviour).
+RESULT_VERSION = 1
+
+
+@functools.lru_cache(maxsize=1)
+def source_fingerprint() -> str:
+    """Content hash of every ``.py`` file in the installed package.
+
+    Folded into each point's cache key so on-disk results can never
+    survive a change to the simulator itself — edits to the source bust
+    the cache automatically, without waiting for anyone to remember to
+    bump :data:`RESULT_VERSION`.
+    """
+    root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One simulation: a benchmark run under a configuration."""
+
+    benchmark: str
+    config: SystemConfig
+    memory_refs: int
+    seed: int = 0
+
+    def cache_key(self) -> str:
+        """Content hash identifying this point's result."""
+        payload = json.dumps(
+            {
+                "repro_version": __version__,
+                "result_version": RESULT_VERSION,
+                "source": source_fingerprint(),
+                "benchmark": self.benchmark,
+                "memory_refs": self.memory_refs,
+                "seed": self.seed,
+                "config": self.config.digest(),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable identity for progress lines."""
+        return (
+            f"{self.benchmark} cfg={self.config.digest()[:8]}"
+            f" refs={self.memory_refs} seed={self.seed}"
+        )
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Bookkeeping for one executed (not cache-served) simulation."""
+
+    point: SimPoint
+    key: str
+    wall_seconds: float
+
+
+_ENV = object()  # sentinel: resolve from the environment
+
+
+class Runner:
+    """Executes simulation points with dedup, caching, and a process pool.
+
+    ``jobs=None`` reads ``REPRO_JOBS`` (default 1 — inline, serial).
+    ``cache_dir`` defaults to ``REPRO_CACHE_DIR`` when that is set and
+    to no on-disk cache otherwise; pass a path to force a location or
+    ``None`` to disable persistence explicitly.  The in-memory memo is
+    always active.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache_dir=_ENV,
+        progress: bool = False,
+    ) -> None:
+        if jobs is None:
+            jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        if cache_dir is _ENV:
+            cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.progress = progress
+        #: executed simulations, in completion order.
+        self.job_log: List[JobResult] = []
+        self.simulated = 0
+        self.disk_hits = 0
+        self.reused = 0
+        self.sim_seconds = 0.0
+        self._memo: Dict[str, Dict[str, object]] = {}
+
+    # -- execution ---------------------------------------------------------
+
+    def run_point(self, point: SimPoint) -> SimStats:
+        return self.run_points([point])[0]
+
+    def run_points(self, points: Sequence[SimPoint]) -> List[SimStats]:
+        """Resolve every point, in order; duplicates simulate once."""
+        points = list(points)
+        keys = [point.cache_key() for point in points]
+        pending: List[Tuple[str, SimPoint]] = []
+        scheduled = set()
+        for key, point in zip(keys, points):
+            if key in self._memo or key in scheduled:
+                self.reused += 1
+                continue
+            if self.cache is not None:
+                payload = self.cache.get(key)
+                if payload is not None and "stats" in payload:
+                    self._memo[key] = payload["stats"]
+                    self.disk_hits += 1
+                    continue
+            scheduled.add(key)
+            pending.append((key, point))
+
+        if pending:
+            self._execute(pending)
+        return [SimStats.from_dict(self._memo[key]) for key in keys]
+
+    def _execute(self, pending: List[Tuple[str, SimPoint]]) -> None:
+        total = len(pending)
+        if self.jobs > 1 and total > 1:
+            workers = min(self.jobs, total)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(execute_point, point): (key, point)
+                    for key, point in pending
+                }
+                for done, future in enumerate(as_completed(futures), 1):
+                    key, point = futures[future]
+                    stats_dict, wall = future.result()
+                    self._record(key, point, stats_dict, wall, done, total)
+        else:
+            for done, (key, point) in enumerate(pending, 1):
+                stats_dict, wall = execute_point(point)
+                self._record(key, point, stats_dict, wall, done, total)
+
+    def _record(
+        self,
+        key: str,
+        point: SimPoint,
+        stats_dict: Dict[str, object],
+        wall: float,
+        done: int,
+        total: int,
+    ) -> None:
+        self._memo[key] = stats_dict
+        self.simulated += 1
+        self.sim_seconds += wall
+        self.job_log.append(JobResult(point=point, key=key, wall_seconds=wall))
+        if self.cache is not None:
+            self.cache.put(
+                key,
+                {
+                    "key": key,
+                    "benchmark": point.benchmark,
+                    "config_digest": point.config.digest(),
+                    "memory_refs": point.memory_refs,
+                    "seed": point.seed,
+                    "result_version": RESULT_VERSION,
+                    "repro_version": __version__,
+                    "wall_seconds": wall,
+                    "stats": stats_dict,
+                },
+            )
+        if self.progress:
+            print(
+                f"[runner] {done}/{total} {point.label()} {wall:.2f}s",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """Lifetime counters for an end-of-run report."""
+        return {
+            "jobs": self.jobs,
+            "simulated": self.simulated,
+            "disk_hits": self.disk_hits,
+            "reused": self.reused,
+            "sim_seconds": round(self.sim_seconds, 3),
+            "cache_dir": str(self.cache.root) if self.cache else None,
+        }
+
+
+_default_runner: Optional[Runner] = None
+
+
+def get_runner() -> Runner:
+    """The process-wide default runner, created lazily from the env."""
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = Runner()
+    return _default_runner
+
+
+def set_runner(runner: Optional[Runner]) -> Optional[Runner]:
+    """Install (or, with None, reset) the default runner; returns it."""
+    global _default_runner
+    _default_runner = runner
+    return runner

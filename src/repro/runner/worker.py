@@ -1,0 +1,65 @@
+"""Simulation of one point, runnable in the parent or a pool worker.
+
+:func:`execute_point` is a module-level function so
+``ProcessPoolExecutor`` can pickle it by reference; a ``SimPoint`` is a
+tree of frozen dataclasses of primitives, so it crosses the process
+boundary unchanged.  The returned statistics travel as the plain-data
+form of :class:`~repro.core.stats.SimStats` — the same representation
+the on-disk cache stores — so every execution path (inline, pooled,
+cached) materializes results through one exact round trip.
+
+Trace construction costs a sizable fraction of simulating the trace, so
+each process memoizes the most recent traces (the parent's memo also
+backs :func:`repro.experiments.common.get_traces`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.core.system import System
+from repro.cpu.trace import Trace
+from repro.workloads import build_trace
+from repro.workloads.registry import build_warmup_trace
+
+__all__ = ["execute_point", "get_traces"]
+
+_TRACE_MEMO: Dict[Tuple[str, int, int, int], Tuple[Trace, Trace]] = {}
+_TRACE_MEMO_LIMIT = 8
+
+
+def get_traces(
+    benchmark: str,
+    memory_refs: int,
+    seed: int,
+    l2_bytes: int,
+) -> Tuple[Optional[Trace], Trace]:
+    """(warm-up initialization trace, measured trace) for one benchmark."""
+    key = (benchmark, memory_refs, seed, l2_bytes)
+    if key not in _TRACE_MEMO:
+        if len(_TRACE_MEMO) >= _TRACE_MEMO_LIMIT:
+            _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
+        warm = build_warmup_trace(benchmark, seed=seed, l2_bytes=l2_bytes)
+        main = build_trace(benchmark, memory_refs, seed=seed)
+        _TRACE_MEMO[key] = (warm, main)
+    warm, main = _TRACE_MEMO[key]
+    return (warm if len(warm) else None), main
+
+
+def execute_point(point) -> Tuple[Dict[str, object], float]:
+    """Simulate one :class:`~repro.runner.runner.SimPoint` from scratch.
+
+    Returns ``(stats_dict, wall_seconds)``.  Fully deterministic: the
+    trace is rebuilt from the point's seed and the system starts cold,
+    so the same point produces identical statistics in any process.
+    """
+    started = time.perf_counter()
+    warm, main = get_traces(
+        point.benchmark, point.memory_refs, point.seed, point.config.l2.size_bytes
+    )
+    system = System(point.config)
+    if warm is not None:
+        system.warmup(warm)
+    stats = system.run(main)
+    return stats.to_dict(), time.perf_counter() - started

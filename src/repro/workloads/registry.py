@@ -12,7 +12,8 @@ records.  Generation is deterministic given (name, memory_refs, seed).
 
 from __future__ import annotations
 
-from typing import Dict, List
+import zlib
+from typing import List
 
 import numpy as np
 
@@ -166,7 +167,10 @@ def build_trace(name: str, memory_refs: int, seed: int = 0) -> Trace:
     if memory_refs < 1:
         raise ValueError("memory_refs must be >= 1")
     prof = profile(name)
-    rng = np.random.default_rng((hash(name) & 0xFFFF_FFFF) ^ (seed * 0x9E3779B9) & 0xFFFF_FFFF)
+    # zlib.crc32, not hash(): str hashing is salted per interpreter
+    # process, which would make traces (and thus every simulation
+    # result) differ from run to run and across pool workers.
+    rng = np.random.default_rng((zlib.crc32(name.encode("ascii")) & 0xFFFF_FFFF) ^ (seed * 0x9E3779B9) & 0xFFFF_FFFF)
     components = build_components(prof)
     weights = np.array([spec.weight for spec in prof.components], dtype=float)
     weights /= weights.sum()

@@ -26,7 +26,7 @@ parameters, and optionally emit compiler-style software prefetches
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

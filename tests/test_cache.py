@@ -221,3 +221,88 @@ class TestMSHRFile:
     def test_rejects_zero_entries(self):
         with pytest.raises(ValueError):
             MSHRFile(0)
+
+
+class TestFillMerge:
+    """Filling a block that is already resident must merge, not duplicate.
+
+    Regression tests for the duplicate-CacheLine bug: the pre-fix
+    ``fill`` skipped the residency check and inserted a second line for
+    the same block, wasting capacity and leaving a stale ghost that
+    ``invalidate``/``access`` could resolve against.
+    """
+
+    def test_double_fill_keeps_one_line(self):
+        cache = make_cache()
+        cache.fill(0x1000, ready_time=0.0)
+        cache.fill(0x1000, ready_time=5.0)
+        assert cache.occupancy() == 1
+        assert cache.resident_blocks() == [0x1000]
+
+    def test_double_fill_does_not_evict(self):
+        cache = make_cache(assoc=2)
+        # Fill one set to capacity, then re-fill a resident block: no
+        # line may be displaced and no eviction counted.
+        cache.fill(0x0000, ready_time=0.0)
+        cache.fill(0x2000, ready_time=0.0)  # same set (8KB / 2-way / 64B)
+        assert cache.occupancy() == 2
+        victim = cache.fill(0x0000, ready_time=1.0)
+        assert victim is None
+        assert cache.occupancy() == 2
+        assert cache.stats.evictions == 0
+
+    def test_merge_ors_dirty_bit(self):
+        cache = make_cache()
+        cache.fill(0x1000, ready_time=0.0, dirty=False)
+        cache.fill(0x1000, ready_time=0.0, dirty=True)
+        assert cache.peek(0x1000).dirty
+        # ... and a clean re-fill never launders an existing dirty line.
+        cache.fill(0x1000, ready_time=0.0, dirty=False)
+        assert cache.peek(0x1000).dirty
+
+    def test_merge_keeps_earliest_ready_time(self):
+        cache = make_cache()
+        cache.fill(0x1000, ready_time=100.0)
+        cache.fill(0x1000, ready_time=40.0)
+        assert cache.peek(0x1000).ready_time == 40.0
+        cache.fill(0x1000, ready_time=70.0)
+        assert cache.peek(0x1000).ready_time == 40.0
+
+    def test_demand_merge_clears_prefetch_flag_silently(self):
+        outcomes = []
+        cache = make_cache(outcome=outcomes.append)
+        cache.fill(0x1000, ready_time=10.0, prefetched=True)
+        cache.fill(0x1000, ready_time=50.0, prefetched=False)
+        line = cache.peek(0x1000)
+        assert not line.prefetched
+        # the demand paid full latency: neither useful nor evicted.
+        assert outcomes == []
+
+    def test_prefetch_merge_keeps_demand_line_unflagged(self):
+        cache = make_cache()
+        cache.fill(0x1000, ready_time=0.0, prefetched=False)
+        cache.fill(0x1000, ready_time=0.0, prefetched=True)
+        assert not cache.peek(0x1000).prefetched
+
+
+class TestMSHRSameInstantFree:
+    def test_same_instant_completions_free_together(self):
+        """Entries completing at the same time all drain during a stall.
+
+        Regression test: the pre-fix drain loop was guarded by
+        ``len(heap) >= entries``, which is always false right after the
+        blocking pop, so simultaneous completions were never cleaned up.
+        """
+        mshrs = MSHRFile(2)
+        mshrs.commit(50.0)
+        mshrs.commit(50.0)
+        assert mshrs.acquire(10.0) == 50.0
+        assert mshrs.stalls == 1
+        assert len(mshrs) == 0
+
+    def test_later_completion_stays_queued(self):
+        mshrs = MSHRFile(2)
+        mshrs.commit(50.0)
+        mshrs.commit(80.0)
+        assert mshrs.acquire(10.0) == 50.0
+        assert len(mshrs) == 1

@@ -1,6 +1,5 @@
 """Unit tests for repro.core.config."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Unit tests for the memory controller's prioritization logic."""
 
-import pytest
 
 from repro.core.config import CoreConfig, DRAMConfig, PrefetchConfig
 from repro.core.stats import SimStats

@@ -65,7 +65,8 @@ class TestSelect:
     def test_resident_blocks_skipped(self):
         engine, channel, mapping, _ = make_engine()
         engine.on_demand_miss(0x10000)
-        resident = lambda addr: addr == 0x10040
+        def resident(addr):
+            return addr == 0x10040
         assert engine.select(channel, mapping, resident) == 0x10080
 
     def test_exhausted_region_retired_on_select(self):

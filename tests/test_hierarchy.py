@@ -1,6 +1,5 @@
 """Unit tests for the memory hierarchy glue (L1s, L2, controller)."""
 
-from dataclasses import replace
 
 import pytest
 

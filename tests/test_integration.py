@@ -6,9 +6,8 @@ margins, not magnitudes.
 
 import pytest
 
-from repro import System, presets, simulate
+from repro import presets
 from repro.experiments.common import Profile, run_benchmark
-from repro.workloads import build_trace
 
 PROFILE = Profile("itest", memory_refs=6_000)
 

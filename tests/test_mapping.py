@@ -1,6 +1,5 @@
 """Unit and property-based tests for the DRAM address mappings."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -119,3 +119,69 @@ class TestSimStats:
         runs = [SimStats(instructions=1, cycles=1.0) for _ in range(3)]
         total = merge_stats(runs)
         assert total.instructions == 3
+
+
+def _populated_stats() -> SimStats:
+    """A SimStats with every field (nested included) made distinctive."""
+    import dataclasses
+
+    stats = SimStats()
+    value = 3
+    for field in dataclasses.fields(SimStats):
+        current = getattr(stats, field.name)
+        if isinstance(current, (CacheStats, DRAMClassStats)):
+            for sub in dataclasses.fields(current):
+                setattr(current, sub.name, value)
+                value += 1
+        elif isinstance(current, float):
+            # awkward floats exercise exact (repr-based) round-trip
+            setattr(stats, field.name, value + 0.1 + 0.2)
+            value += 1
+        elif isinstance(current, int):
+            setattr(stats, field.name, value)
+            value += 1
+    return stats
+
+
+class TestSerialization:
+    def test_round_trip_is_exact(self):
+        import dataclasses
+        import json
+
+        stats = _populated_stats()
+        payload = json.loads(json.dumps(stats.to_dict()))
+        restored = SimStats.from_dict(payload)
+        for field in dataclasses.fields(SimStats):
+            a = getattr(stats, field.name)
+            b = getattr(restored, field.name)
+            if isinstance(a, (CacheStats, DRAMClassStats)):
+                assert a.to_dict() == b.to_dict(), field.name
+            else:
+                assert a == b, field.name
+
+    def test_to_dict_nests_components(self):
+        d = SimStats().to_dict()
+        assert isinstance(d["l2"], dict)
+        assert isinstance(d["dram_reads"], dict)
+        assert "row_hits" in d["dram_reads"]
+
+    def test_from_dict_ignores_unknown_keys(self):
+        d = SimStats(instructions=7).to_dict()
+        d["not_a_field"] = 1
+        d["l2"]["bogus"] = 2
+        assert SimStats.from_dict(d).instructions == 7
+
+    def test_from_dict_defaults_missing_keys(self):
+        stats = SimStats.from_dict({"instructions": 9})
+        assert stats.instructions == 9
+        assert stats.cycles == 0.0
+        assert stats.l2.accesses == 0
+
+    def test_mshr_stall_fields_exist(self):
+        stats = SimStats(l1d_mshr_stalls=4, l1i_mshr_stalls=2)
+        summary = stats.summary()
+        assert summary["l1d_mshr_stalls"] == 4
+        assert summary["l1i_mshr_stalls"] == 2
+        restored = SimStats.from_dict(stats.to_dict())
+        assert restored.l1d_mshr_stalls == 4
+        assert restored.l1i_mshr_stalls == 2
