@@ -29,7 +29,7 @@ class System:
     """
 
     def __init__(self, config: SystemConfig) -> None:
-        self.config = config
+        self.config = config.validate()
         self.stats = SimStats()
         self.hierarchy = MemoryHierarchy(config, self.stats)
         self.core = OutOfOrderCore(config, self.hierarchy, self.stats)

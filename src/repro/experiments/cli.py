@@ -12,6 +12,16 @@ experiment sharing points with it — only simulates what it has never
 seen.  ``--no-cache`` disables persistence; any change to the
 simulator source, a ``RESULT_VERSION`` bump, or a package version bump
 invalidates every cached entry.
+
+Long sweeps are fault tolerant: ``--job-timeout`` arms a watchdog that
+kills and retries hung pooled simulations, failures are retried up to
+``--max-retries`` times with deterministic backoff, a broken worker
+pool is rebuilt once and then abandoned for inline execution, cache
+write errors degrade to cache-off, and ``--keep-going`` renders the
+experiments from whatever points succeeded instead of aborting.  Every
+failure event is summarized in an end-of-run report on stderr.
+``Ctrl-C`` terminates the workers, keeps everything already cached,
+and exits with status 130.
 """
 
 from __future__ import annotations
@@ -23,8 +33,9 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.core.config import ConfigError
 from repro.experiments.common import PROFILES
-from repro.runner import Runner, set_runner
+from repro.runner import PointFailureError, Runner, set_runner
 
 __all__ = ["EXPERIMENTS", "main"]
 
@@ -91,28 +102,84 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="print one line per completed simulation job to stderr",
     )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="watchdog: kill and retry any pooled simulation running longer "
+        "than this (default: REPRO_JOB_TIMEOUT, else no watchdog)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry a failed simulation point up to N times "
+        "(default: REPRO_MAX_RETRIES, else 2)",
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="when a point fails permanently, render the experiments from "
+        "the points that succeeded instead of aborting",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.job_timeout is not None and args.job_timeout <= 0:
+        parser.error(f"--job-timeout must be positive, got {args.job_timeout}")
+    if args.max_retries is not None and args.max_retries < 0:
+        parser.error(f"--max-retries must be >= 0, got {args.max_retries}")
 
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    runner_kwargs = {}
+    if args.job_timeout is not None:
+        runner_kwargs["timeout"] = args.job_timeout
+    if args.max_retries is not None:
+        runner_kwargs["max_retries"] = args.max_retries
     try:
-        runner = Runner(jobs=args.jobs, cache_dir=cache_dir, progress=args.progress)
+        runner = Runner(
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            progress=args.progress,
+            keep_going=args.keep_going,
+            **runner_kwargs,
+        )
     except OSError as error:
         parser.error(f"cannot use cache dir {cache_dir!r}: {error}")
     set_runner(runner)
 
     profile = PROFILES[args.profile] if args.profile else None
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        module = importlib.import_module(EXPERIMENTS[name])
-        started = time.time()
-        result = module.run(profile)
-        print(module.render(result))
-        print()
-        # timing and runner diagnostics go to stderr: stdout must be
-        # byte-identical regardless of --jobs / cache state.
-        print(f"[{name}: {time.time() - started:.1f}s]", file=sys.stderr)
+    exit_code = 0
+    try:
+        for name in names:
+            module = importlib.import_module(EXPERIMENTS[name])
+            started = time.time()
+            result = module.run(profile)
+            print(module.render(result))
+            print()
+            # timing and runner diagnostics go to stderr: stdout must be
+            # byte-identical regardless of --jobs / cache state.
+            print(f"[{name}: {time.time() - started:.1f}s]", file=sys.stderr)
+    except KeyboardInterrupt:
+        # workers are already torn down by Runner; completed points
+        # stay in the on-disk cache for the next invocation.
+        print(
+            "repro-experiment: interrupted — completed results remain cached",
+            file=sys.stderr,
+        )
+        return 130
+    except PointFailureError as error:
+        print(f"repro-experiment: {error}", file=sys.stderr)
+        print("(re-run with --keep-going to render what succeeded)", file=sys.stderr)
+        exit_code = 1
+    except ConfigError as error:
+        print(f"repro-experiment: invalid configuration: {error}", file=sys.stderr)
+        return 2
+    if runner.failures:
+        print(runner.failure_report(), file=sys.stderr)
     summary = runner.summary()
     print(
         f"[runner: jobs={summary['jobs']} simulated={summary['simulated']}"
@@ -120,7 +187,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         f" sim-time={summary['sim_seconds']}s]",
         file=sys.stderr,
     )
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -17,8 +17,12 @@ Every experiment module exposes ``run(profile) -> *Result`` and
   :func:`run_points` all route through the process-wide
   :class:`repro.runner.Runner`, which deduplicates identical
   (benchmark, config, profile) points, serves them from its result
-  cache, and fans fresh work across a process pool when ``--jobs`` /
-  ``REPRO_JOBS`` asks for one,
+  cache, fans fresh work across a process pool when ``--jobs`` /
+  ``REPRO_JOBS`` asks for one, and absorbs worker failures (watchdog
+  timeouts, retries, pool rebuild — see the ``repro.runner`` module
+  docs); in ``--keep-going`` mode a permanently failed point comes
+  back as NaN-valued placeholder statistics, which the table renderer
+  prints as ``-``,
 * speedup/aggregation helpers and an ASCII table renderer.
 """
 
@@ -111,7 +115,10 @@ def run_points(
     This is the experiments' one entry to the simulator: the whole
     batch goes to the default :class:`repro.runner.Runner` in a single
     call, so duplicate points collapse, cached points return instantly,
-    and the rest fan across the process pool.
+    and the rest fan across the process pool.  A point that fails
+    permanently raises :class:`repro.runner.PointFailureError` — or,
+    when the runner was built with ``keep_going=True``, yields
+    placeholder statistics whose NaN-valued rates render as ``-``.
     """
     runner = get_runner()
     return runner.run_points(

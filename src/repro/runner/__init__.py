@@ -1,25 +1,45 @@
-"""Parallel, cached experiment runner.
+"""Parallel, cached, fault-tolerant experiment runner.
 
-See :mod:`repro.runner.runner` for the execution model and
-:mod:`repro.runner.cache` for the on-disk result store.
+See :mod:`repro.runner.runner` for the execution model,
+:mod:`repro.runner.cache` for the on-disk result store, and
+:mod:`repro.runner.faults` for the deterministic fault-injection
+harness that exercises the recovery paths.
 """
 
 from repro.runner.cache import ResultCache
+from repro.runner.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    get_fault_plan,
+    set_fault_plan,
+)
 from repro.runner.runner import (
     RESULT_VERSION,
+    FailureRecord,
     JobResult,
+    PointFailureError,
     Runner,
     SimPoint,
     get_runner,
+    placeholder_stats,
     set_runner,
 )
 
 __all__ = [
     "RESULT_VERSION",
+    "FailureRecord",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "JobResult",
+    "PointFailureError",
     "ResultCache",
     "Runner",
     "SimPoint",
+    "get_fault_plan",
     "get_runner",
+    "placeholder_stats",
+    "set_fault_plan",
     "set_runner",
 ]

@@ -10,6 +10,12 @@ sharing a cache directory can never observe a torn entry.
 Corrupt or unreadable entries are treated as misses and overwritten on
 the next store; the cache is purely an accelerator and never the source
 of truth.
+
+Reads never raise: any I/O or decode problem is a miss.  Writes *do*
+propagate :class:`OSError` (disk full, read-only root, permissions) —
+callers own the policy for a failing store; the
+:class:`~repro.runner.runner.Runner` responds by degrading to
+cache-off with a single warning rather than aborting a batch.
 """
 
 from __future__ import annotations
@@ -43,7 +49,12 @@ class ResultCache:
             return None
 
     def put(self, key: str, payload: Dict) -> None:
-        """Atomically store ``payload`` under ``key``."""
+        """Atomically store ``payload`` under ``key``.
+
+        Raises :class:`OSError` when the entry cannot be written (full
+        disk, read-only directory, …); a failed write never leaves a
+        partial entry or a stray temporary file behind.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")

@@ -1,4 +1,4 @@
-"""Parallel, cached execution of (benchmark, config, workload) points.
+"""Parallel, cached, fault-tolerant execution of simulation points.
 
 The experiment harnesses regenerate twelve paper artifacts, and many of
 them revisit identical simulation points — the same benchmark under the
@@ -20,11 +20,38 @@ remainder either inline or fanned across a process pool:
   ``SimStats.to_dict``/``from_dict`` round trip, so cached, pooled, and
   inline results are field-for-field identical.
 
+Long sweeps additionally survive misbehaving points and environments:
+
+* **watchdog timeouts** — with ``timeout`` (``REPRO_JOB_TIMEOUT``) set,
+  a pooled simulation running past the deadline has its worker killed
+  and is retried; other in-flight points are resubmitted unharmed;
+* **bounded retries** — a failed attempt is retried up to
+  ``max_retries`` (``REPRO_MAX_RETRIES``) times with exponential
+  backoff whose jitter derives deterministically from the point's
+  cache key, never from global RNG state;
+* **pool recovery** — a broken process pool (worker died mid-call) is
+  rebuilt once; if it breaks again, the remaining points finish inline
+  in the parent process;
+* **cache degradation** — an ``OSError`` while persisting a result
+  (disk full, read-only cache dir) switches the cache off with a single
+  stderr warning instead of aborting the batch;
+* **partial-batch salvage** — results are memoized and cached the
+  moment they land, every failure event is recorded as a structured
+  :class:`FailureRecord` (kinds: ``timeout`` / ``crash`` / ``oom`` /
+  ``cache-io``), and with ``keep_going=True`` a permanently failed
+  point yields placeholder statistics instead of raising
+  :class:`PointFailureError`, so experiments render from the points
+  that succeeded.
+
+Every recovery path is exercised deterministically by the
+fault-injection harness in :mod:`repro.runner.faults`.
+
 The module-level default runner (:func:`get_runner` / :func:`set_runner`)
 is what :func:`repro.experiments.common.run_benchmark` submits through;
 it honours the ``REPRO_JOBS`` and ``REPRO_CACHE_DIR`` environment
 variables, and ``repro-experiment`` overrides it from ``--jobs`` /
-``--cache-dir`` / ``--no-cache``.
+``--cache-dir`` / ``--no-cache`` / ``--job-timeout`` / ``--max-retries``
+/ ``--keep-going``.
 """
 
 from __future__ import annotations
@@ -34,14 +61,18 @@ import hashlib
 import json
 import os
 import sys
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro import __version__
 from repro.core.config import SystemConfig
 from repro.core.stats import SimStats
+from repro.runner import faults
 from repro.runner.cache import ResultCache
 from repro.runner.worker import execute_point
 
@@ -49,7 +80,11 @@ __all__ = [
     "RESULT_VERSION",
     "SimPoint",
     "JobResult",
+    "FailureRecord",
+    "PointFailureError",
     "Runner",
+    "backoff_delay",
+    "placeholder_stats",
     "get_runner",
     "set_runner",
 ]
@@ -57,6 +92,9 @@ __all__ = [
 #: bump to invalidate every previously cached result (e.g. after a
 #: change to the simulator's timing behaviour).
 RESULT_VERSION = 1
+
+#: failure taxonomy used by :class:`FailureRecord`.
+FAILURE_KINDS = ("timeout", "crash", "oom", "cache-io")
 
 
 @functools.lru_cache(maxsize=1)
@@ -121,7 +159,90 @@ class JobResult:
     wall_seconds: float
 
 
+@dataclass(frozen=True)
+class FailureRecord:
+    """One failure event observed while resolving a point.
+
+    A record is appended for *every* failed attempt, so a transient
+    fault that a retry recovered still leaves an audit trail; ``fatal``
+    is True only when the runner gave the point up for good.
+    """
+
+    label: str
+    key: str
+    #: one of :data:`FAILURE_KINDS`.
+    kind: str
+    #: zero-based attempt number that failed.
+    attempt: int
+    message: str
+    fatal: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "key": self.key,
+            "kind": self.kind,
+            "attempt": self.attempt,
+            "message": self.message,
+            "fatal": self.fatal,
+        }
+
+
+class PointFailureError(RuntimeError):
+    """A batch contained points that exhausted their retry budget."""
+
+    def __init__(self, records: Sequence[FailureRecord]) -> None:
+        self.records: List[FailureRecord] = list(records)
+        labels = ", ".join(sorted({r.label for r in self.records}))
+        super().__init__(
+            f"{len(self.records)} simulation point(s) failed permanently: {labels}"
+        )
+
+
+def backoff_delay(key: str, attempt: int, base: float) -> float:
+    """Retry delay before ``attempt``: exponential with keyed jitter.
+
+    The jitter derives from a hash of ``(cache key, attempt)`` rather
+    than any global RNG, so a given point backs off identically in
+    every process and every run — determinism extends to the recovery
+    schedule itself.
+    """
+    if base <= 0 or attempt <= 0:
+        return 0.0
+    digest = hashlib.sha256(f"{key}:{attempt}".encode("ascii")).digest()
+    jitter = int.from_bytes(digest[:8], "big") / 2**64  # in [0, 1)
+    return base * (2 ** (attempt - 1)) * (0.5 + jitter)
+
+
+def placeholder_stats() -> SimStats:
+    """Stand-in statistics for a point that could not be simulated.
+
+    Used by ``keep_going`` mode.  ``cycles`` is NaN, so every derived
+    rate (IPC first of all) is NaN and renders as ``-`` in the
+    experiment tables, while counters stay at zero.
+    """
+    stats = SimStats()
+    stats.cycles = float("nan")
+    return stats
+
+
+@dataclass
+class _Job:
+    """Mutable retry state for one scheduled point."""
+
+    key: str
+    point: SimPoint
+    attempt: int = 0
+    #: monotonic time before which a retry must not start.
+    eligible: float = 0.0
+
+
 _ENV = object()  # sentinel: resolve from the environment
+
+
+def _env_float(name: str) -> Optional[float]:
+    raw = os.environ.get(name, "").strip()
+    return float(raw) if raw else None
 
 
 class Runner:
@@ -132,13 +253,38 @@ class Runner:
     to no on-disk cache otherwise; pass a path to force a location or
     ``None`` to disable persistence explicitly.  The in-memory memo is
     always active.
+
+    Fault-tolerance knobs (see the module docstring):
+
+    ``timeout``
+        per-job watchdog in seconds for pooled execution (default:
+        ``REPRO_JOB_TIMEOUT``, else no watchdog; inline execution
+        cannot be preempted and is never timed out);
+    ``max_retries``
+        failed attempts retried per point (default:
+        ``REPRO_MAX_RETRIES``, else 2);
+    ``retry_backoff``
+        base delay in seconds for the exponential backoff schedule
+        (default: ``REPRO_RETRY_BACKOFF``, else 0.25; 0 disables
+        waiting);
+    ``keep_going``
+        on permanent point failure, return :func:`placeholder_stats`
+        instead of raising :class:`PointFailureError`.
     """
+
+    #: how many times a broken process pool is rebuilt before the
+    #: runner gives up on pooling and finishes the batch inline.
+    MAX_POOL_REBUILDS = 1
 
     def __init__(
         self,
         jobs: Optional[int] = None,
         cache_dir=_ENV,
         progress: bool = False,
+        timeout=_ENV,
+        max_retries: Optional[int] = None,
+        retry_backoff: Optional[float] = None,
+        keep_going: bool = False,
     ) -> None:
         if jobs is None:
             jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
@@ -149,13 +295,37 @@ class Runner:
             cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.progress = progress
+        if timeout is _ENV:
+            timeout = _env_float("REPRO_JOB_TIMEOUT")
+        if timeout is not None and timeout <= 0:
+            timeout = None
+        self.timeout: Optional[float] = timeout
+        if max_retries is None:
+            max_retries = int(os.environ.get("REPRO_MAX_RETRIES", "2") or "2")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.max_retries = max_retries
+        if retry_backoff is None:
+            retry_backoff = _env_float("REPRO_RETRY_BACKOFF")
+            if retry_backoff is None:
+                retry_backoff = 0.25
+        self.retry_backoff = max(0.0, retry_backoff)
+        self.keep_going = keep_going
         #: executed simulations, in completion order.
         self.job_log: List[JobResult] = []
+        #: every failure event, transient and fatal, in observation order.
+        self.failures: List[FailureRecord] = []
         self.simulated = 0
         self.disk_hits = 0
         self.reused = 0
+        self.retries = 0
+        self.pool_rebuilds = 0
         self.sim_seconds = 0.0
+        self.cache_disabled_reason: Optional[str] = None
+        self._pool_unusable = False
         self._memo: Dict[str, Dict[str, object]] = {}
+        self._batch_done = 0
+        self._batch_total = 0
 
     # -- execution ---------------------------------------------------------
 
@@ -163,7 +333,13 @@ class Runner:
         return self.run_points([point])[0]
 
     def run_points(self, points: Sequence[SimPoint]) -> List[SimStats]:
-        """Resolve every point, in order; duplicates simulate once."""
+        """Resolve every point, in order; duplicates simulate once.
+
+        Raises :class:`PointFailureError` if any point exhausts its
+        retry budget — unless ``keep_going`` is set, in which case the
+        failed points come back as :func:`placeholder_stats` while
+        everything that did resolve is returned (and cached) normally.
+        """
         points = list(points)
         keys = [point.cache_key() for point in points]
         pending: List[Tuple[str, SimPoint]] = []
@@ -183,60 +359,283 @@ class Runner:
 
         if pending:
             self._execute(pending)
-        return [SimStats.from_dict(self._memo[key]) for key in keys]
+        return [
+            SimStats.from_dict(self._memo[key])
+            if key in self._memo
+            else placeholder_stats()
+            for key in keys
+        ]
 
     def _execute(self, pending: List[Tuple[str, SimPoint]]) -> None:
-        total = len(pending)
-        if self.jobs > 1 and total > 1:
-            workers = min(self.jobs, total)
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(execute_point, point): (key, point)
-                    for key, point in pending
-                }
-                for done, future in enumerate(as_completed(futures), 1):
-                    key, point = futures[future]
-                    stats_dict, wall = future.result()
-                    self._record(key, point, stats_dict, wall, done, total)
-        else:
-            for done, (key, point) in enumerate(pending, 1):
-                stats_dict, wall = execute_point(point)
-                self._record(key, point, stats_dict, wall, done, total)
+        jobs = [_Job(key=key, point=point) for key, point in pending]
+        self._batch_done = 0
+        self._batch_total = len(jobs)
+        fatal: List[FailureRecord] = []
+        if self.jobs > 1 and len(jobs) > 1 and not self._pool_unusable:
+            jobs = self._run_pooled(jobs, fatal)
+            if jobs:
+                print(
+                    f"[runner] process pool unusable; finishing "
+                    f"{len(jobs)} point(s) inline",
+                    file=sys.stderr,
+                )
+        self._run_inline(jobs, fatal)
+        if fatal and not self.keep_going:
+            raise PointFailureError(fatal)
 
-    def _record(
-        self,
-        key: str,
-        point: SimPoint,
-        stats_dict: Dict[str, object],
-        wall: float,
-        done: int,
-        total: int,
-    ) -> None:
+    def _run_pooled(
+        self, jobs: List[_Job], fatal: List[FailureRecord]
+    ) -> List[_Job]:
+        """Resolve ``jobs`` on a process pool with watchdog + recovery.
+
+        Returns the jobs that still need resolving when pooling had to
+        be abandoned (pool broke more than :data:`MAX_POOL_REBUILDS`
+        times); an empty list means everything was resolved or failed
+        permanently here.
+        """
+        workers = min(self.jobs, len(jobs))
+        ready: Deque[_Job] = deque(jobs)
+        waiting: List[_Job] = []  # jobs sitting out a backoff delay
+        running: Dict[object, Tuple[_Job, Optional[float]]] = {}
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            while ready or waiting or running:
+                now = time.monotonic()
+                still_waiting = []
+                for job in waiting:
+                    (ready.append if job.eligible <= now else still_waiting.append)(job)
+                waiting = still_waiting
+                # submit at most one job per worker: a future handed to
+                # the pool starts executing immediately, so its watchdog
+                # deadline measures simulation time, never time spent
+                # queued behind a clogged worker.
+                while ready and len(running) < workers:
+                    job = ready.popleft()
+                    future = pool.submit(execute_point, job.point, job.attempt)
+                    deadline = (now + self.timeout) if self.timeout else None
+                    running[future] = (job, deadline)
+                if not running:
+                    # everything left is backing off; sleep to the first
+                    time.sleep(
+                        max(0.0, min(j.eligible for j in waiting) - time.monotonic())
+                    )
+                    continue
+                wait_for: Optional[float] = None
+                deadlines = [d for _, d in running.values() if d is not None]
+                if deadlines:
+                    wait_for = max(0.0, min(deadlines) - time.monotonic())
+                if waiting:
+                    soonest = max(
+                        0.0, min(j.eligible for j in waiting) - time.monotonic()
+                    )
+                    wait_for = soonest if wait_for is None else min(wait_for, soonest)
+                done, _ = wait(list(running), timeout=wait_for, return_when=FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    job, _deadline = running.pop(future)
+                    try:
+                        stats_dict, wall = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        self._fail(
+                            job, "crash", "worker process died", ready, fatal
+                        )
+                    except MemoryError as exc:
+                        self._fail(
+                            job, "oom", f"MemoryError: {exc}", ready, fatal
+                        )
+                    except Exception as exc:
+                        self._fail(
+                            job,
+                            "crash",
+                            f"{type(exc).__name__}: {exc}",
+                            ready,
+                            fatal,
+                        )
+                    else:
+                        self._record(job, stats_dict, wall)
+                if broken:
+                    # every other in-flight future is doomed with the pool;
+                    # which job killed the worker is unknowable, so each
+                    # one consumes an attempt.
+                    for in_flight, _deadline in running.values():
+                        self._fail(
+                            in_flight,
+                            "crash",
+                            "worker pool broke while the job was in flight",
+                            ready,
+                            fatal,
+                        )
+                    running.clear()
+                    self._kill_pool(pool)
+                    if self.pool_rebuilds >= self.MAX_POOL_REBUILDS:
+                        self._pool_unusable = True
+                        leftover = list(ready) + waiting
+                        ready.clear()
+                        return leftover
+                    self.pool_rebuilds += 1
+                    print(
+                        "[runner] worker pool broke; rebuilding it once",
+                        file=sys.stderr,
+                    )
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                    continue
+                now = time.monotonic()
+                expired = [
+                    future
+                    for future, (_job, deadline) in running.items()
+                    if deadline is not None and now >= deadline
+                ]
+                if expired:
+                    for future in expired:
+                        job, _deadline = running.pop(future)
+                        self._fail(
+                            job,
+                            "timeout",
+                            f"exceeded the {self.timeout:g}s watchdog",
+                            ready,
+                            fatal,
+                        )
+                    # a running future cannot be cancelled: kill the pool
+                    # and resubmit the unexpired in-flight jobs as-is.
+                    survivors = [job for job, _deadline in running.values()]
+                    running.clear()
+                    self._kill_pool(pool)
+                    ready.extend(survivors)
+                    pool = ProcessPoolExecutor(max_workers=workers)
+            pool.shutdown(wait=True)
+            return []
+        except BaseException:
+            # KeyboardInterrupt (or a bug) mid-batch: terminate workers
+            # so none are orphaned; everything already recorded stays in
+            # the memo and on-disk cache.
+            self._kill_pool(pool)
+            raise
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Terminate worker processes and discard queued work.
+
+        ``shutdown`` alone would block on hung workers; terminating the
+        processes first guarantees progress and leaves no orphans.
+        """
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        for proc in processes:
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in processes:
+            proc.join(timeout=5.0)
+
+    def _run_inline(self, jobs: List[_Job], fatal: List[FailureRecord]) -> None:
+        queue: Deque[_Job] = deque(jobs)
+        while queue:
+            job = queue.popleft()
+            delay = job.eligible - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                stats_dict, wall = execute_point(job.point, job.attempt)
+            except KeyboardInterrupt:
+                raise
+            except MemoryError as exc:
+                self._fail(job, "oom", f"MemoryError: {exc}", queue, fatal)
+            except Exception as exc:
+                self._fail(
+                    job, "crash", f"{type(exc).__name__}: {exc}", queue, fatal
+                )
+            else:
+                self._record(job, stats_dict, wall)
+
+    def _fail(self, job, kind, message, requeue, fatal) -> None:
+        """Record a failed attempt; retry it or give the point up."""
+        is_fatal = job.attempt >= self.max_retries
+        record = FailureRecord(
+            label=job.point.label(),
+            key=job.key,
+            kind=kind,
+            attempt=job.attempt,
+            message=message,
+            fatal=is_fatal,
+        )
+        self.failures.append(record)
+        if is_fatal:
+            fatal.append(record)
+            print(
+                f"[runner] FAILED {job.point.label()}: {kind} after "
+                f"{job.attempt + 1} attempt(s) — {message}",
+                file=sys.stderr,
+            )
+            return
+        self.retries += 1
+        job.attempt += 1
+        job.eligible = time.monotonic() + backoff_delay(
+            job.key, job.attempt, self.retry_backoff
+        )
+        requeue.append(job)
+        if self.progress:
+            print(
+                f"[runner] retrying {job.point.label()} "
+                f"(attempt {job.attempt + 1}, {kind}: {message})",
+                file=sys.stderr,
+            )
+
+    def _record(self, job: _Job, stats_dict: Dict[str, object], wall: float) -> None:
+        point, key = job.point, job.key
         self._memo[key] = stats_dict
         self.simulated += 1
         self.sim_seconds += wall
         self.job_log.append(JobResult(point=point, key=key, wall_seconds=wall))
         if self.cache is not None:
-            self.cache.put(
-                key,
-                {
-                    "key": key,
-                    "benchmark": point.benchmark,
-                    "config_digest": point.config.digest(),
-                    "memory_refs": point.memory_refs,
-                    "seed": point.seed,
-                    "result_version": RESULT_VERSION,
-                    "repro_version": __version__,
-                    "wall_seconds": wall,
-                    "stats": stats_dict,
-                },
-            )
+            payload = {
+                "key": key,
+                "benchmark": point.benchmark,
+                "config_digest": point.config.digest(),
+                "memory_refs": point.memory_refs,
+                "seed": point.seed,
+                "result_version": RESULT_VERSION,
+                "repro_version": __version__,
+                "wall_seconds": wall,
+                "stats": stats_dict,
+            }
+            try:
+                if faults.cache_fault(point.label(), job.attempt) is not None:
+                    raise OSError(
+                        f"injected cache-io fault for {point.label()!r}"
+                    )
+                self.cache.put(key, payload)
+            except OSError as exc:
+                self._disable_cache(job, exc)
+        self._batch_done += 1
         if self.progress:
             print(
-                f"[runner] {done}/{total} {point.label()} {wall:.2f}s",
+                f"[runner] {self._batch_done}/{self._batch_total}"
+                f" {point.label()} {wall:.2f}s",
                 file=sys.stderr,
                 flush=True,
             )
+
+    def _disable_cache(self, job: _Job, error: OSError) -> None:
+        """Degrade to cache-off after a write error; warn exactly once."""
+        self.cache = None
+        self.cache_disabled_reason = str(error)
+        self.failures.append(
+            FailureRecord(
+                label=job.point.label(),
+                key=job.key,
+                kind="cache-io",
+                attempt=job.attempt,
+                message=str(error),
+                fatal=False,
+            )
+        )
+        print(
+            f"[runner] result cache disabled after write error: {error} "
+            "(simulation continues without persistence)",
+            file=sys.stderr,
+        )
 
     # -- reporting ---------------------------------------------------------
 
@@ -247,9 +646,32 @@ class Runner:
             "simulated": self.simulated,
             "disk_hits": self.disk_hits,
             "reused": self.reused,
+            "retries": self.retries,
+            "pool_rebuilds": self.pool_rebuilds,
             "sim_seconds": round(self.sim_seconds, 3),
+            "timeout": self.timeout,
+            "max_retries": self.max_retries,
             "cache_dir": str(self.cache.root) if self.cache else None,
+            "cache_disabled": self.cache_disabled_reason,
+            "failures": [record.to_dict() for record in self.failures],
         }
+
+    def failure_report(self) -> str:
+        """Human-readable end-of-run account of every failure event."""
+        if not self.failures:
+            return "[runner] no failures"
+        fatal = sum(1 for record in self.failures if record.fatal)
+        lines = [
+            f"[runner] {len(self.failures)} failure event(s), "
+            f"{fatal} point(s) given up:"
+        ]
+        for record in self.failures:
+            outcome = "gave up" if record.fatal else "retried"
+            lines.append(
+                f"[runner]   {record.kind:<8} attempt {record.attempt} "
+                f"{outcome}: {record.label} — {record.message}"
+            )
+        return "\n".join(lines)
 
 
 _default_runner: Optional[Runner] = None

@@ -20,6 +20,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.system import System
 from repro.cpu.trace import Trace
+from repro.runner import faults
 from repro.workloads import build_trace
 from repro.workloads.registry import build_warmup_trace
 
@@ -47,13 +48,19 @@ def get_traces(
     return (warm if len(warm) else None), main
 
 
-def execute_point(point) -> Tuple[Dict[str, object], float]:
+def execute_point(point, attempt: int = 0) -> Tuple[Dict[str, object], float]:
     """Simulate one :class:`~repro.runner.runner.SimPoint` from scratch.
 
     Returns ``(stats_dict, wall_seconds)``.  Fully deterministic: the
     trace is rebuilt from the point's seed and the system starts cold,
     so the same point produces identical statistics in any process.
+
+    ``attempt`` is the zero-based retry attempt the runner is making;
+    it does not influence the simulation (results must be identical on
+    every attempt) and exists only so the fault-injection harness can
+    key planned failures by attempt number.
     """
+    faults.maybe_inject(point.label(), attempt)
     started = time.perf_counter()
     warm, main = get_traces(
         point.benchmark, point.memory_refs, point.seed, point.config.l2.size_bytes

@@ -191,3 +191,70 @@ class TestSystemConfig:
         config = SystemConfig()
         with pytest.raises(Exception):
             config.perfect_l2 = True
+
+
+class TestCacheConfigFailFast:
+    """Regression: bad fields used to surface as deep ZeroDivisionError."""
+
+    def test_zero_assoc_is_config_error_not_zero_division(self):
+        with pytest.raises(ConfigError, match="assoc"):
+            CacheConfig(size_bytes=64 * 1024, assoc=0, block_bytes=64, hit_latency=3)
+
+    def test_negative_assoc_rejected(self):
+        with pytest.raises(ConfigError, match="assoc"):
+            CacheConfig(size_bytes=64 * 1024, assoc=-2, block_bytes=64, hit_latency=3)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigError, match="size_bytes"):
+            CacheConfig(size_bytes=0, assoc=2, block_bytes=64, hit_latency=3)
+
+    def test_negative_hit_latency_rejected(self):
+        with pytest.raises(ConfigError, match="hit_latency"):
+            CacheConfig(size_bytes=64 * 1024, assoc=2, block_bytes=64, hit_latency=-1)
+
+
+class TestSystemConfigValidate:
+    def test_valid_config_chains(self):
+        config = SystemConfig()
+        assert config.validate() is config
+
+    def test_all_presets_validate(self):
+        from repro.core import presets
+
+        for name in presets.__all__:
+            getattr(presets, name)().validate()
+
+    def test_non_pow2_cache_size_rejected_with_actionable_message(self):
+        # 96KB 3-way passes CacheConfig's local checks (512 sets, a power
+        # of two) but is not a power-of-two capacity; validate names the
+        # level and the offending size.
+        odd = CacheConfig(size_bytes=96 * 1024, assoc=3, block_bytes=64, hit_latency=12)
+        config = SystemConfig(l2=odd)
+        with pytest.raises(ConfigError, match=r"l2.*power of two.*98304"):
+            config.validate()
+
+    def test_system_constructor_validates(self):
+        from repro.core.system import System
+
+        odd = CacheConfig(size_bytes=96 * 1024, assoc=3, block_bytes=64, hit_latency=12)
+        with pytest.raises(ConfigError):
+            System(SystemConfig(l2=odd))
+
+    def test_zero_channels_and_banks_fail_fast(self):
+        with pytest.raises(ConfigError):
+            DRAMConfig(channels=0)
+        with pytest.raises(ConfigError):
+            DRAMConfig(banks_per_device=0)
+        with pytest.raises(ConfigError):
+            DRAMConfig(rows_per_bank=0)
+
+    def test_region_smaller_than_l2_block_message_names_both(self):
+        with pytest.raises(ConfigError, match="region"):
+            SystemConfig().with_block_size(8192).with_prefetch(region_bytes=4096)
+
+    def test_disabled_prefetch_region_not_constrained(self):
+        # Tables 1/2 sweep the L2 block past the default region size with
+        # prefetching off; validate must not reject that.
+        config = SystemConfig().with_block_size(8192)
+        assert not config.prefetch.enabled
+        config.validate()

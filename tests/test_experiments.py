@@ -189,3 +189,126 @@ class TestCLI:
         assert cli.main(["mapping", "--profile", "tiny"]) == 0
         out = capsys.readouterr().out
         assert "mapping" in out or "XOR" in out or "xor" in out
+
+
+class TestCLIFaultTolerance:
+    """The fault-tolerance knobs and exit codes of repro-experiment."""
+
+    @staticmethod
+    def _stub(monkeypatch, run):
+        import types
+
+        module = types.SimpleNamespace(run=run, render=lambda result: "stub-table")
+        monkeypatch.setattr(cli.importlib, "import_module", lambda name: module)
+
+    def test_fault_flags_reach_the_runner(self, monkeypatch, capsys):
+        from repro.runner import get_runner
+
+        seen = {}
+
+        def run(profile):
+            runner = get_runner()
+            seen.update(
+                timeout=runner.timeout,
+                retries=runner.max_retries,
+                keep=runner.keep_going,
+            )
+
+        self._stub(monkeypatch, run)
+        assert (
+            cli.main(
+                [
+                    "mapping",
+                    "--no-cache",
+                    "--job-timeout",
+                    "9",
+                    "--max-retries",
+                    "7",
+                    "--keep-going",
+                ]
+            )
+            == 0
+        )
+        assert seen == {"timeout": 9.0, "retries": 7, "keep": True}
+        capsys.readouterr()
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        def run(profile):
+            raise KeyboardInterrupt()
+
+        self._stub(monkeypatch, run)
+        assert cli.main(["mapping", "--no-cache"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "Traceback" not in err
+
+    def test_point_failure_exits_1_with_report(self, monkeypatch, capsys):
+        from repro.runner import FailureRecord, PointFailureError, get_runner
+
+        def run(profile):
+            record = FailureRecord(
+                label="mcf cfg=deadbeef refs=1500 seed=0",
+                key="k",
+                kind="timeout",
+                attempt=2,
+                message="exceeded the 300s watchdog",
+                fatal=True,
+            )
+            get_runner().failures.append(record)
+            raise PointFailureError([record])
+
+        self._stub(monkeypatch, run)
+        assert cli.main(["mapping", "--no-cache"]) == 1
+        err = capsys.readouterr().err
+        assert "failed permanently" in err
+        assert "--keep-going" in err
+        assert "timeout" in err
+
+    def test_config_error_exits_2(self, monkeypatch, capsys):
+        from repro.core.config import ConfigError
+
+        def run(profile):
+            raise ConfigError("l2: cache size must be a power of two, got 999")
+
+        self._stub(monkeypatch, run)
+        assert cli.main(["mapping", "--no-cache"]) == 2
+        assert "invalid configuration" in capsys.readouterr().err
+
+    def test_rejects_bad_flag_values(self):
+        with pytest.raises(SystemExit):
+            cli.main(["mapping", "--job-timeout", "0"])
+        with pytest.raises(SystemExit):
+            cli.main(["mapping", "--max-retries", "-1"])
+
+    def test_keep_going_renders_from_surviving_points(self, capsys, monkeypatch):
+        """End to end: a permanently failing point still yields tables."""
+        from repro.runner import FaultPlan, FaultSpec, set_fault_plan
+
+        monkeypatch.setattr(
+            common, "PROFILES", dict(common.PROFILES, tiny=MICRO), raising=True
+        )
+        set_fault_plan(
+            FaultPlan(
+                [FaultSpec(match="swim", fault="raise", attempts=tuple(range(8)))]
+            )
+        )
+        try:
+            code = cli.main(
+                [
+                    "mapping",
+                    "--profile",
+                    "tiny",
+                    "--no-cache",
+                    "--keep-going",
+                    "--max-retries",
+                    "0",
+                ]
+            )
+        finally:
+            set_fault_plan(None)
+        captured = capsys.readouterr()
+        assert code == 0
+        # surviving benchmarks rendered, the dead one shows as '-'
+        assert "twolf" in captured.out
+        assert "-" in captured.out
+        assert "gave up" in captured.err
