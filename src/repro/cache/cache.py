@@ -11,13 +11,20 @@ blocks "being prefetched or in the cache").
 Prefetched lines carry a ``prefetched`` flag until their first demand
 touch, which is when the prefetch counts as *useful* for the accuracy
 statistics; evicting a still-flagged line counts as pollution.
+
+Each set keeps two synchronized views of its contents: a list ordered
+MRU→LRU (the recency chain replacement needs) and a dict mapping block
+address to line (so lookups are O(1) instead of a Python-level linear
+scan — at L2 associativities the scan dominated the simulator's
+profile).  Every lookup path goes through :meth:`_find` so the two
+views cannot drift.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.cache.replacement import insertion_index
+from repro.cache.replacement import INSERTION_PRIORITIES, insertion_index
 from repro.core.config import CacheConfig
 from repro.core.stats import CacheStats
 
@@ -39,6 +46,20 @@ class CacheLine:
 class SetAssociativeCache:
     """LRU set-associative cache with configurable insertion priority."""
 
+    __slots__ = (
+        "config",
+        "stats",
+        "_prefetch_outcome",
+        "_offset_bits",
+        "_index_mask",
+        "_block_mask",
+        "_assoc",
+        "_sets",
+        "_tags",
+        "_insert_index",
+        "last_was_prefetched",
+    )
+
     def __init__(
         self,
         config: CacheConfig,
@@ -54,8 +75,15 @@ class SetAssociativeCache:
         self._offset_bits = config.block_offset_bits
         self._index_mask = config.num_sets - 1
         self._block_mask = ~(config.block_bytes - 1)
-        # Each set is a list ordered MRU (index 0) -> LRU (index -1).
+        self._assoc = config.assoc
+        # Each set is a list ordered MRU (index 0) -> LRU (index -1)...
         self._sets: List[List[CacheLine]] = [[] for _ in range(config.num_sets)]
+        # ...mirrored by a block-address -> line index for O(1) lookup.
+        self._tags: List[Dict[int, CacheLine]] = [{} for _ in range(config.num_sets)]
+        self._insert_index = {
+            priority: insertion_index(priority, config.assoc)
+            for priority in INSERTION_PRIORITIES
+        }
         #: set by :meth:`access`: the last hit consumed a prefetched line.
         self.last_was_prefetched = False
 
@@ -64,21 +92,25 @@ class SetAssociativeCache:
     def block_address(self, addr: int) -> int:
         return addr & self._block_mask
 
-    def _set_for(self, block_addr: int) -> List[CacheLine]:
-        return self._sets[(block_addr >> self._offset_bits) & self._index_mask]
+    def _find(self, addr: int) -> Tuple[int, int, Optional[CacheLine]]:
+        """(block address, set index, resident line or None) for ``addr``.
+
+        The single tag-match path shared by every lookup: ``contains``,
+        ``peek``, ``access``, ``fill``, and ``invalidate`` all resolve
+        residency here, so the tag index cannot disagree between them.
+        No side effects (no recency update, no stats).
+        """
+        block = addr & self._block_mask
+        index = (block >> self._offset_bits) & self._index_mask
+        return block, index, self._tags[index].get(block)
 
     def contains(self, addr: int) -> bool:
         """Presence probe with no side effects (no recency update)."""
-        block = self.block_address(addr)
-        return any(line.addr == block for line in self._set_for(block))
+        return self._find(addr)[2] is not None
 
     def peek(self, addr: int) -> Optional[CacheLine]:
         """Return the line holding ``addr`` without touching recency."""
-        block = self.block_address(addr)
-        for line in self._set_for(block):
-            if line.addr == block:
-                return line
-        return None
+        return self._find(addr)[2]
 
     # -- demand path ---------------------------------------------------------------
 
@@ -90,26 +122,26 @@ class SetAssociativeCache:
         still-in-flight line is returned as a hit; the caller compares
         ``ready_time`` with the access time to account the extra delay.
         """
-        self.stats.accesses += 1
+        stats = self.stats
+        stats.accesses += 1
         self.last_was_prefetched = False
-        block = self.block_address(addr)
-        lines = self._set_for(block)
-        for i, line in enumerate(lines):
-            if line.addr == block:
-                if i != 0:
-                    del lines[i]
-                    lines.insert(0, line)
-                if is_write:
-                    line.dirty = True
-                if line.prefetched:
-                    line.prefetched = False
-                    self.last_was_prefetched = True
-                    if self._prefetch_outcome is not None:
-                        self._prefetch_outcome(True)
-                self.stats.hits += 1
-                return line
-        self.stats.misses += 1
-        return None
+        block, index, line = self._find(addr)
+        if line is None:
+            stats.misses += 1
+            return None
+        lines = self._sets[index]
+        if lines[0] is not line:
+            lines.remove(line)
+            lines.insert(0, line)
+        if is_write:
+            line.dirty = True
+        if line.prefetched:
+            line.prefetched = False
+            self.last_was_prefetched = True
+            if self._prefetch_outcome is not None:
+                self._prefetch_outcome(True)
+        stats.hits += 1
+        return line
 
     # -- fill path ------------------------------------------------------------------
 
@@ -137,35 +169,38 @@ class SetAssociativeCache:
         the full fetch latency, so the prefetch was neither useful nor
         evicted.
         """
-        block = self.block_address(addr)
-        lines = self._set_for(block)
-        for line in lines:
-            if line.addr == block:
-                line.dirty = line.dirty or dirty
-                line.ready_time = min(line.ready_time, ready_time)
-                if not prefetched:
-                    line.prefetched = False
-                return None
+        block, index, line = self._find(addr)
+        if line is not None:
+            line.dirty = line.dirty or dirty
+            line.ready_time = min(line.ready_time, ready_time)
+            if not prefetched:
+                line.prefetched = False
+            return None
+        lines = self._sets[index]
+        tags = self._tags[index]
         victim = None
-        if len(lines) >= self.config.assoc:
+        if len(lines) >= self._assoc:
             victim = lines.pop()
+            del tags[victim.addr]
             self.stats.evictions += 1
             if victim.prefetched and self._prefetch_outcome is not None:
                 self._prefetch_outcome(False)
-        index = insertion_index(insertion, self.config.assoc)
-        index = min(index, len(lines))
-        lines.insert(index, CacheLine(block, dirty, prefetched, ready_time))
+        slot = self._insert_index.get(insertion)
+        if slot is None:
+            slot = insertion_index(insertion, self._assoc)  # raises on unknown priority
+        line = CacheLine(block, dirty, prefetched, ready_time)
+        lines.insert(min(slot, len(lines)), line)
+        tags[block] = line
         return victim
 
     def invalidate(self, addr: int) -> Optional[CacheLine]:
         """Drop the line holding ``addr``; returns it if present."""
-        block = self.block_address(addr)
-        lines = self._set_for(block)
-        for i, line in enumerate(lines):
-            if line.addr == block:
-                del lines[i]
-                return line
-        return None
+        block, index, line = self._find(addr)
+        if line is None:
+            return None
+        self._sets[index].remove(line)
+        del self._tags[index][block]
+        return line
 
     # -- diagnostics ----------------------------------------------------------------
 

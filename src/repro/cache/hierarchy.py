@@ -39,6 +39,20 @@ class AccessKind:
 class MemoryHierarchy:
     """Two-level cache hierarchy over the integrated memory controller."""
 
+    __slots__ = (
+        "config",
+        "stats",
+        "l1i",
+        "l1d",
+        "l2",
+        "controller",
+        "_l1_latency",
+        "_prefetch_insertion",
+        "_perfect_memory",
+        "_perfect_l2",
+        "_l2_hit_latency",
+    )
+
     def __init__(self, config: SystemConfig, stats: SimStats) -> None:
         self.config = config
         self.stats = stats
@@ -64,6 +78,10 @@ class MemoryHierarchy:
             AccessKind.IFETCH: config.l1i.hit_latency,
         }
         self._prefetch_insertion = config.prefetch.insertion
+        # Hoisted once: read on every single access.
+        self._perfect_memory = config.perfect_memory
+        self._perfect_l2 = config.perfect_l2
+        self._l2_hit_latency = config.l2.hit_latency
 
     # -- prefetch plumbing ------------------------------------------------------
 
@@ -97,25 +115,25 @@ class MemoryHierarchy:
         PC-indexed prefetch engines (e.g. the stride baseline).
         """
         l1_latency = self._l1_latency[kind]
-        if self.config.perfect_memory:
+        if self._perfect_memory:
             return time + l1_latency, False
 
-        is_ifetch = kind == AccessKind.IFETCH
-        l1 = self.l1i if is_ifetch else self.l1d
-        is_write = kind == AccessKind.STORE
+        l1 = self.l1i if kind == AccessKind.IFETCH else self.l1d
 
-        line = l1.access(addr, is_write)
+        line = l1.access(addr, kind == AccessKind.STORE)
         if line is not None:
-            if line.ready_time > time:
+            hit_done = time + l1_latency
+            ready = line.ready_time
+            if ready > time:
                 l1.stats.delayed_hits += 1
-                return max(time + l1_latency, line.ready_time), False
-            return time + l1_latency, False
+                return (ready if ready > hit_done else hit_done), False
+            return hit_done, False
 
         # L1 miss: the L2 sees the request after the L1 lookup.
         t2 = time + l1_latency
         data_ready = self._l2_access(t2, addr, pc)
 
-        victim = l1.fill(addr, ready_time=data_ready, dirty=is_write)
+        victim = l1.fill(addr, ready_time=data_ready, dirty=kind == AccessKind.STORE)
         if victim is not None and victim.dirty:
             self._l1_writeback(data_ready, victim.addr)
             l1.stats.writebacks += 1
@@ -123,12 +141,11 @@ class MemoryHierarchy:
 
     def _l2_access(self, t2: float, addr: int, pc: int = 0) -> float:
         """L1-miss fetch from the L2 (and DRAM below it)."""
-        if self.config.perfect_l2:
+        l2_latency = self._l2_hit_latency
+        if self._perfect_l2:
             self.stats.l2.accesses += 1
             self.stats.l2.hits += 1
-            return t2 + self.config.l2.hit_latency
-
-        l2_latency = self.config.l2.hit_latency
+            return t2 + l2_latency
         line = self.l2.access(addr, is_write=False)
         if line is not None:
             # Hit: the access needs no channel time, so the prefetch
@@ -158,7 +175,7 @@ class MemoryHierarchy:
         if line is not None:
             line.dirty = True
             return
-        if self.config.perfect_l2:
+        if self._perfect_l2:
             return
         # Non-inclusive hierarchy: the L2 no longer holds the block, so
         # the dirty data goes straight to memory.

@@ -18,6 +18,8 @@ __all__ = ["MSHRFile"]
 class MSHRFile:
     """Bounded set of outstanding fills, tracked as completion times."""
 
+    __slots__ = ("entries", "_completions", "stalls")
+
     def __init__(self, entries: int) -> None:
         if entries < 1:
             raise ValueError("MSHR file needs at least one entry")

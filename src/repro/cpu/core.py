@@ -24,7 +24,7 @@ instruction-fetch miss stalls dispatch until the fetch completes.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Tuple
+from typing import Deque
 
 from repro.cache.hierarchy import AccessKind, MemoryHierarchy
 from repro.cache.mshr import MSHRFile
@@ -53,46 +53,67 @@ class OutOfOrderCore:
         Returns the finish time.  Instruction and cycle counts are
         accumulated into the shared stats; callers that interleave
         warm-up and measurement runs reset the stats in between.
+
+        This loop executes once per trace record and dominates the
+        simulator's profile, so it is written flat: bound methods and
+        config fields are hoisted to locals, the five trace columns are
+        walked with one ``zip`` instead of per-record indexing, the
+        in-flight window is two parallel deques of primitives rather
+        than a deque of per-record tuples, and per-kind event counts
+        accumulate in locals that fold into the shared stats once at
+        the end.  ``gap / issue_width`` stays a true division (not a
+        reciprocal multiply): results must be bit-identical for every
+        issue width, not just powers of two.
         """
         cfg = self.config.core
         stats = self.stats
         access = self.hierarchy.access
         issue_width = float(cfg.issue_width)
+        issue_slot = 1.0 / issue_width  # one division; reused verbatim
         window_size = cfg.window_size
         lsq_size = cfg.lsq_size
         use_swpf = self.config.software_prefetch
 
         d_mshrs = MSHRFile(self.config.l1d.mshrs)
         i_mshrs = MSHRFile(self.config.l1i.mshrs)
+        d_acquire = d_mshrs.acquire
+        d_commit = d_mshrs.commit
+        i_acquire = i_mshrs.acquire
+        i_commit = i_mshrs.commit
 
-        # (instruction index, completion time) of in-flight window entries,
-        # ordered by instruction index.
-        window: Deque[Tuple[int, float]] = deque()
+        # Instruction index / completion time of in-flight window
+        # entries, ordered by instruction index (two parallel deques:
+        # no tuple allocation per record).
+        win_index: Deque[int] = deque()
+        win_done: Deque[float] = deque()
+        win_index_append = win_index.append
+        win_done_append = win_done.append
+        win_index_pop = win_index.popleft
+        win_done_pop = win_done.popleft
         dispatch = start_time  # time the next instruction can dispatch
         commit_front = start_time  # in-order commit time of retired entries
         # per-PC completion times: a dep record serializes against the
         # previous load of the same static access site (pointer chains
         # serialize per chain, streams per stream).
-        chain_completion = {}
+        chain_completion: dict = {}
+        chain_get = chain_completion.get
         end_time = start_time
         inst_count = 0
-
-        # Plain Python lists iterate ~3x faster than numpy scalars here.
-        kinds = trace.kinds.tolist()
-        gaps = trace.gaps.tolist()
-        addrs = trace.addrs.tolist()
-        deps = trace.deps.tolist()
-        pcs = trace.pcs.tolist()
+        loads = stores = ifetches = swprefetches = 0
 
         LOAD = AccessKind.LOAD
         STORE = AccessKind.STORE
         IFETCH = AccessKind.IFETCH
         SWPF = AccessKind.SWPF
 
-        for i in range(len(kinds)):
-            kind = kinds[i]
-            gap = gaps[i]
-
+        # Plain Python lists iterate ~3x faster than numpy scalars here.
+        for kind, gap, addr, dep, pc in zip(
+            trace.kinds.tolist(),
+            trace.gaps.tolist(),
+            trace.addrs.tolist(),
+            trace.deps.tolist(),
+            trace.pcs.tolist(),
+        ):
             if kind == SWPF and not use_swpf:
                 # Discarded at fetch (Section 4.7 baseline behaviour):
                 # the non-memory gap instructions still execute.
@@ -101,67 +122,78 @@ class OutOfOrderCore:
                     dispatch += gap / issue_width
                 continue
 
-            inst_count += gap
-            dispatch += gap / issue_width
+            if gap:
+                inst_count += gap
+                dispatch += gap / issue_width
 
             if kind == IFETCH:
-                stats.ifetches += 1
-                ready = i_mshrs.acquire(dispatch)
-                completion, missed = access(ready, addrs[i], IFETCH, pcs[i])
+                ifetches += 1
+                ready = i_acquire(dispatch)
+                completion, missed = access(ready, addr, IFETCH, pc)
                 if missed:
-                    i_mshrs.commit(completion)
+                    i_commit(completion)
                     # Fetch stalls: nothing dispatches until the line returns.
-                    dispatch = max(dispatch, completion)
+                    if completion > dispatch:
+                        dispatch = completion
                 if completion > end_time:
                     end_time = completion
                 continue
 
             inst_count += 1  # the memory (or prefetch) instruction itself
             index = inst_count
-            dispatch += 1.0 / issue_width
+            dispatch += issue_slot
 
             # Window and LSQ occupancy: dispatch waits for in-order commit
             # of entries falling out of the window / queue.
-            while window and (window[0][0] <= index - window_size or len(window) >= lsq_size):
-                _, done = window.popleft()
-                if done > commit_front:
-                    commit_front = done
-                if commit_front > dispatch:
-                    dispatch = commit_front
+            if win_index:
+                horizon = index - window_size
+                while win_index and (win_index[0] <= horizon or len(win_index) >= lsq_size):
+                    win_index_pop()
+                    done = win_done_pop()
+                    if done > commit_front:
+                        commit_front = done
+                        if commit_front > dispatch:
+                            dispatch = commit_front
 
             issue = dispatch
-            if deps[i]:
-                ready = chain_completion.get(pcs[i], start_time)
+            if dep:
+                ready = chain_get(pc, start_time)
                 if ready > issue:
                     issue = ready
 
-            issue = d_mshrs.acquire(issue)
+            issue = d_acquire(issue)
 
-            completion, missed = access(issue, addrs[i], kind, pcs[i])
+            completion, missed = access(issue, addr, kind, pc)
             if missed:
-                d_mshrs.commit(completion)
+                d_commit(completion)
 
             if kind == LOAD:
-                stats.loads += 1
-                window.append((index, completion))
-                chain_completion[pcs[i]] = completion
+                loads += 1
+                win_index_append(index)
+                win_done_append(completion)
+                chain_completion[pc] = completion
             elif kind == STORE:
-                stats.stores += 1
-                window.append((index, issue + STORE_COMMIT_LATENCY))
+                stores += 1
+                win_index_append(index)
+                win_done_append(issue + STORE_COMMIT_LATENCY)
             else:  # executed software prefetch: non-binding, retires at once
-                stats.software_prefetches += 1
+                swprefetches += 1
 
             if completion > end_time:
                 end_time = completion
 
         # Drain: all in-flight work commits, the final gap instructions run.
-        for _, done in window:
+        for done in win_done:
             if done > commit_front:
                 commit_front = done
         finish = max(dispatch, commit_front, end_time)
         self.hierarchy.finish(finish)
         stats.instructions += inst_count
         stats.cycles += finish - start_time
+        stats.loads += loads
+        stats.stores += stores
+        stats.ifetches += ifetches
+        stats.software_prefetches += swprefetches
         stats.l1d_mshr_stalls += d_mshrs.stalls
         stats.l1i_mshr_stalls += i_mshrs.stalls
         return finish

@@ -54,12 +54,20 @@ class BankArray:
     physical bank numbers differ by one.
     """
 
+    __slots__ = ("_banks_per_device", "_devices", "_device_bits", "_shared", "banks", "_neighbours")
+
     def __init__(self, banks_per_device: int, devices: int, shared_sense_amps: bool = True) -> None:
         self._banks_per_device = banks_per_device
         self._devices = devices
         self._device_bits = devices.bit_length() - 1
         self._shared = shared_sense_amps
         self.banks: List[Bank] = [Bank() for _ in range(banks_per_device * devices)]
+        # Neighbour indices never change: precompute them once instead
+        # of rebuilding a list on every activation (the activate path
+        # runs on every DRAM row miss/empty access).
+        self._neighbours: List[List[int]] = [
+            self._compute_neighbours(i) for i in range(len(self.banks))
+        ]
 
     def __len__(self) -> int:
         return len(self.banks)
@@ -70,8 +78,7 @@ class BankArray:
     def open_row(self, index: int) -> Optional[int]:
         return self.banks[index].open_row
 
-    def neighbours(self, index: int) -> List[int]:
-        """Logical indices of the sense-amp neighbours of ``index``."""
+    def _compute_neighbours(self, index: int) -> List[int]:
         if not self._shared:
             return []
         device = index & ((1 << self._device_bits) - 1)
@@ -83,11 +90,16 @@ class BankArray:
             result.append(((bank + 1) << self._device_bits) | device)
         return result
 
+    def neighbours(self, index: int) -> List[int]:
+        """Logical indices of the sense-amp neighbours of ``index``."""
+        return self._neighbours[index]
+
     def activate(self, index: int, row: int) -> None:
         """Latch ``row`` in bank ``index``, flushing sense-amp neighbours."""
-        self.banks[index].activate(row)
-        for n in self.neighbours(index):
-            self.banks[n].flush_for_neighbour()
+        banks = self.banks
+        banks[index].activate(row)
+        for n in self._neighbours[index]:
+            banks[n].flush_for_neighbour()
 
     def open_banks(self) -> int:
         """Number of banks with a latched row (diagnostics)."""

@@ -46,6 +46,21 @@ class AccessOutcome:
 class LogicalChannel:
     """Scheduler for the ganged Rambus channel; all times in CPU cycles."""
 
+    __slots__ = (
+        "config",
+        "stats",
+        "_t_prer",
+        "_t_act",
+        "_t_rdwr",
+        "_t_transfer",
+        "_t_packet",
+        "_closed_page",
+        "banks",
+        "row_bus_free",
+        "col_bus_free",
+        "data_bus_free",
+    )
+
     def __init__(self, config: DRAMConfig, core: CoreConfig, stats: SimStats) -> None:
         self.config = config
         self.stats = stats

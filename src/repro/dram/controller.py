@@ -35,6 +35,21 @@ ResidencyProbe = Callable[[int], bool]
 class MemoryController:
     """On-die memory controller driving the ganged Rambus channel."""
 
+    __slots__ = (
+        "config",
+        "stats",
+        "mapping",
+        "channel",
+        "block_bytes",
+        "_block_packets",
+        "_packet_time",
+        "_idle_guard",
+        "prefetcher",
+        "_scheduled",
+        "_prefetch_fill",
+        "_resident",
+    )
+
     def __init__(
         self,
         dram: DRAMConfig,

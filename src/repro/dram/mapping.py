@@ -31,7 +31,13 @@ __all__ = ["DRAMCoordinates", "AddressMapping", "BaseMapping", "XorMapping", "ma
 
 @dataclass(frozen=True)
 class DRAMCoordinates:
-    """Location of one logical dualoct in the memory system."""
+    """Location of one logical dualoct in the memory system.
+
+    ``__slots__`` because one is allocated per DRAM access (and per
+    bank-aware prefetch candidate probe) on the simulator's hot path.
+    """
+
+    __slots__ = ("bank", "row", "column")
 
     bank: int
     row: int

@@ -63,6 +63,42 @@ def default_cache_dir() -> str:
     )
 
 
+def _profile_sim(benchmark: str, profile, top: int = 25) -> int:
+    """Simulate one point under cProfile; print sorted hot-spot tables.
+
+    Trace construction and the simulation itself both run inside the
+    profile window (trace generation is part of the optimized kernel).
+    The point uses the prefetch-enabled configuration so the region
+    engine and DRAM scheduling paths appear in the profile.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    from repro.core.config import SystemConfig
+    from repro.runner import SimPoint
+    from repro.runner.worker import execute_point
+
+    point = SimPoint(
+        benchmark=benchmark,
+        config=SystemConfig().with_prefetch(enabled=True),
+        memory_refs=profile.memory_refs,
+        seed=profile.seed,
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _, wall = execute_point(point)
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    stats.sort_stats("tottime").print_stats(top)
+    print(f"profiled {benchmark} ({profile.name}: {profile.memory_refs} refs, "
+          f"{wall:.2f}s simulated wall time)")
+    print(stream.getvalue().rstrip())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
@@ -124,6 +160,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="when a point fails permanently, render the experiments from "
         "the points that succeeded instead of aborting",
     )
+    parser.add_argument(
+        "--profile-sim",
+        nargs="?",
+        const="mcf",
+        default=None,
+        metavar="BENCHMARK",
+        help="instead of running the experiment, simulate one point of "
+        "BENCHMARK (default: mcf, prefetch enabled) under cProfile and "
+        "print the hottest functions",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -131,6 +177,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"--job-timeout must be positive, got {args.job_timeout}")
     if args.max_retries is not None and args.max_retries < 0:
         parser.error(f"--max-retries must be >= 0, got {args.max_retries}")
+
+    if args.profile_sim is not None:
+        from repro.experiments.common import active_profile
+        from repro.workloads import BENCHMARKS
+
+        if args.profile_sim not in BENCHMARKS:
+            parser.error(f"--profile-sim: unknown benchmark {args.profile_sim!r}")
+        return _profile_sim(
+            args.profile_sim,
+            PROFILES[args.profile] if args.profile else active_profile(),
+        )
 
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     runner_kwargs = {}

@@ -24,6 +24,8 @@ __all__ = ["PrefetchQueue"]
 class PrefetchQueue:
     """Priority-ordered bounded list of :class:`RegionEntry`."""
 
+    __slots__ = ("capacity", "policy", "_entries")
+
     def __init__(self, capacity: int, policy: str = "lifo") -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")

@@ -17,6 +17,7 @@ from typing import List
 
 import numpy as np
 
+from repro.cache.hierarchy import AccessKind
 from repro.cpu.trace import Trace, TraceBuilder
 from repro.workloads.spec import ComponentSpec, WorkloadProfile, profile
 from repro.workloads.synthetic import (
@@ -127,30 +128,52 @@ def build_warmup_trace(name: str, seed: int = 0, l2_bytes: int = 1 << 20) -> Tra
     """
     prof = profile(name)
     components = build_components(prof)
-    builder = TraceBuilder(name=f"{name}:warmup", description="initialization pass")
+    addr_parts: List[np.ndarray] = []
+    kind_parts: List[np.ndarray] = []
+    pc_parts: List[np.ndarray] = []
+
+    def segment(kind_fill, base: int, span: int, pc: int) -> np.ndarray:
+        offsets = np.arange(0, span, 64, dtype=np.int64)
+        addr_parts.append(base + offsets)
+        if isinstance(kind_fill, int):
+            kind_parts.append(np.full(len(offsets), kind_fill, dtype=np.uint8))
+        else:
+            kind_parts.append(kind_fill(offsets))
+        pc_parts.append(np.full(len(offsets), pc, dtype=np.uint32))
+        return offsets
+
     for comp in components:
         if comp.footprint > PRETOUCH_SKIP_ABOVE:
             continue
         span = min(comp.footprint, PRETOUCH_CAP)
-        for offset in range(0, span, 64):
-            builder.store(0, comp.base + offset, pc=comp.cid << 8)
+        segment(AccessKind.STORE, comp.base, span, comp.cid << 8)
     filler_span = min(int(l2_bytes * FILLER_FACTOR), FILLER_MAX)
-    for offset in range(0, filler_span, 64):
-        # Alternate dirty/clean so steady-state evictions write back at
-        # a realistic ~50% rate rather than on every fill.
-        if (offset // 64) % 2:
-            builder.store(0, FILLER_BASE + offset, pc=0xFFFE)
-        else:
-            builder.load(0, FILLER_BASE + offset, pc=0xFFFE)
+    # Alternate dirty/clean so steady-state evictions write back at
+    # a realistic ~50% rate rather than on every fill.
+    segment(
+        lambda offs: np.where(
+            (offs // 64) % 2 == 1, AccessKind.STORE, AccessKind.LOAD
+        ).astype(np.uint8),
+        FILLER_BASE,
+        filler_span,
+        0xFFFE,
+    )
     for comp in components:
         resident = _resident_span(comp)
         if resident:
-            for offset in range(0, resident, 64):
-                builder.load(0, comp.base + offset, pc=comp.cid << 8)
-    for offset in range(0, max(prof.code_footprint, 4096), 64):
-        builder.ifetch(CODE_BASE + offset, pc=0xFFFF)
+            segment(AccessKind.LOAD, comp.base, resident, comp.cid << 8)
+    segment(AccessKind.IFETCH, CODE_BASE, max(prof.code_footprint, 4096), 0xFFFF)
     _ = seed  # layout is deterministic; kept for signature symmetry
-    return builder.build()
+    addrs = np.concatenate(addr_parts)
+    return Trace(
+        name=f"{name}:warmup",
+        kinds=np.concatenate(kind_parts),
+        gaps=np.zeros(len(addrs), dtype=np.uint16),
+        addrs=addrs,
+        deps=np.zeros(len(addrs), dtype=np.uint8),
+        pcs=np.concatenate(pc_parts),
+        description="initialization pass",
+    )
 
 
 def _resident_span(comp: Component) -> int:
@@ -187,27 +210,62 @@ def build_trace(name: str, memory_refs: int, seed: int = 0) -> Trace:
     code_cursor = 0
     code_span = max(prof.code_footprint, 4096)
 
+    # One vectorized component-selection pass (the per-record
+    # searchsorted dominated generation time), clamped defensively the
+    # way the old per-record fallback was.
+    comp_ids = np.minimum(
+        np.searchsorted(cumulative, picks, side="right"), len(components) - 1
+    )
+    counts = np.bincount(comp_ids, minlength=len(components))
+    # Components that never consume the RNG (streams/strides) pre-draw
+    # all their references in one vectorized batch; the others must stay
+    # in the interleaved per-record order so the RNG stream — and hence
+    # every downstream simulation result — is unchanged.
+    batches: List = [
+        comp.batch_refs(int(count)) if count else None
+        for comp, count in zip(components, counts)
+    ]
+    positions = [0] * len(components)
+    comp_list = comp_ids.tolist()
+    gap_list = gaps.tolist()
+    write_list = writes.tolist()
+
+    emit_load = builder.load
+    emit_store = builder.store
+    emit_swpf = builder.software_prefetch
+    emit_ifetch = builder.ifetch
+    rng_random = rng.random
+    rng_integers = rng.integers
+    ifetch_every = prof.ifetch_every
+
     for i in range(memory_refs):
-        comp = components[int(np.searchsorted(cumulative, picks[i], side="right"))]
-        if comp.cid >= len(components):  # pragma: no cover - defensive
-            comp = components[-1]
-        addr, dep, swpf, sub = comp.next_ref(rng)
+        ci = comp_list[i]
+        batch = batches[ci]
+        if batch is not None:
+            pos = positions[ci]
+            positions[ci] = pos + 1
+            addr = batch[0][pos]
+            dep = batch[1][pos]
+            swpf = batch[2][pos]
+            sub = batch[3][pos]
+        else:
+            addr, dep, swpf, sub = components[ci].next_ref(rng)
         # The PC identifies the static access site: component plus
         # substream (per-PC dependence serialization and PC-indexed
         # prefetchers both key on it).
-        pc = (comp.cid << 8) | (sub & 0xFF)
-        gap = int(gaps[i])
+        pc = (ci << 8) | (sub & 0xFF)
+        gap = gap_list[i]
         if swpf is not None:
-            builder.software_prefetch(gap, swpf, pc=pc)
+            emit_swpf(gap, swpf, pc=pc)
             gap = 0
-        if writes[i] and not dep:
-            builder.store(gap, addr, pc=pc)
+        if write_list[i] and not dep:
+            emit_store(gap, addr, pc=pc)
         else:
-            builder.load(gap, addr, dep=dep, pc=pc)
-        if prof.ifetch_every and i % prof.ifetch_every == 0:
-            if rng.random() < _BRANCH_PROBABILITY:
-                code_cursor = int(rng.integers(code_span // 64)) * 64
+            emit_load(gap, addr, dep=dep, pc=pc)
+        if ifetch_every and i % ifetch_every == 0:
+            if rng_random() < _BRANCH_PROBABILITY:
+                code_cursor = int(rng_integers(code_span // 64)) * 64
             else:
                 code_cursor = (code_cursor + 64) % code_span
-            builder.ifetch(CODE_BASE + code_cursor, pc=0xFFFF)
+            emit_ifetch(CODE_BASE + code_cursor, pc=0xFFFF)
     return builder.build()

@@ -26,7 +26,7 @@ parameters, and optionally emit compiler-style software prefetches
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -71,6 +71,21 @@ class Component:
     def next_ref(self, rng: np.random.Generator) -> tuple:
         """Return ``(addr, dep, swpf_addr, substream)``."""
         raise NotImplementedError
+
+    def batch_refs(self, count: int) -> Optional[Tuple[list, list, list, list]]:
+        """Vectorized form of ``count`` successive :meth:`next_ref` calls.
+
+        Only components that never consume the RNG may implement this:
+        the trace registry draws records from components in an
+        interleaved, data-dependent order, so batching an RNG-consuming
+        component would reorder its draws and change every trace.
+        Returns ``(addrs, deps, swpfs, substreams)`` as plain lists
+        (identical, element for element, to ``count`` sequential
+        ``next_ref`` calls, including internal state advancement), or
+        ``None`` when the component cannot be batched.
+        """
+        _ = count
+        return None
 
 
 class StreamComponent(Component):
@@ -130,6 +145,44 @@ class StreamComponent(Component):
                 )
         return addr, self.dep, swpf, s
 
+    def batch_refs(self, count: int) -> Optional[Tuple[list, list, list, list]]:
+        if count <= 0:
+            return [], [], [], []
+        streams = self.streams
+        stride = self.stride
+        span = self._span
+        base = self.base
+        k = np.arange(count, dtype=np.int64)
+        subs = (self._turn + k) % streams
+        # Round-robin means the m-th in-batch call on a stream happens at
+        # in-batch index m*streams + const, so m is just k // streams.
+        cursors = np.asarray(self._cursors, dtype=np.int64)
+        offsets = (cursors[subs] + (k // streams) * stride) % span
+        addrs = base + subs * span + offsets
+        swpfs: list = [None] * count
+        if self.swpf_distance:
+            blocks = addrs // _BLOCK
+            distance = self.swpf_distance
+            last_block = self._last_block
+            for s in range(streams):
+                idxs = np.nonzero(subs == s)[0]
+                if idxs.size == 0:
+                    continue
+                stream_blocks = blocks[idxs]
+                prev = np.empty_like(stream_blocks)
+                prev[0] = last_block[s]
+                prev[1:] = stream_blocks[:-1]
+                emit = np.nonzero(stream_blocks != prev)[0]
+                if emit.size:
+                    targets = base + s * span + (offsets[idxs[emit]] + distance) % span
+                    for pos, target in zip(idxs[emit].tolist(), targets.tolist()):
+                        swpfs[pos] = target
+                last_block[s] = int(stream_blocks[-1])
+        self._turn = (self._turn + count) % streams
+        calls = np.bincount(subs, minlength=streams)
+        self._cursors = ((cursors + calls * stride) % span).tolist()
+        return addrs.tolist(), [self.dep] * count, swpfs, subs.tolist()
+
 
 class StridedComponent(Component):
     """Block-skipping strides: touches one word per ``stride`` bytes."""
@@ -158,6 +211,21 @@ class StridedComponent(Component):
         offset = self._cursors[s]
         self._cursors[s] = (offset + self.stride) % self._span
         return self.base + s * self._span + offset, self.dep, None, s
+
+    def batch_refs(self, count: int) -> Optional[Tuple[list, list, list, list]]:
+        if count <= 0:
+            return [], [], [], []
+        streams = self.streams
+        span = self._span
+        k = np.arange(count, dtype=np.int64)
+        subs = (self._turn + k) % streams
+        cursors = np.asarray(self._cursors, dtype=np.int64)
+        offsets = (cursors[subs] + (k // streams) * self.stride) % span
+        addrs = self.base + subs * span + offsets
+        self._turn = (self._turn + count) % streams
+        calls = np.bincount(subs, minlength=streams)
+        self._cursors = ((cursors + calls * self.stride) % span).tolist()
+        return addrs.tolist(), [self.dep] * count, [None] * count, subs.tolist()
 
 
 class PointerChaseComponent(Component):

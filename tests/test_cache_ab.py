@@ -1,0 +1,201 @@
+"""Randomized A/B equivalence: dict-indexed cache vs. linear-scan reference.
+
+:class:`SetAssociativeCache` keeps a per-set tag dict alongside the
+MRU-ordered recency list so lookups are O(1).  This test drives the
+optimized cache and a deliberately naive reference implementation (the
+pre-index semantics: every lookup is a linear scan of the recency list)
+through identical randomized operation sequences and requires them to
+agree on *everything*: hit/miss results, returned line contents, fill
+victims, invalidations, recency order, statistics, and the sequence of
+prefetch-outcome callbacks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.replacement import INSERTION_PRIORITIES, insertion_index
+from repro.core.config import CacheConfig
+from repro.core.stats import CacheStats
+
+
+class _RefLine:
+    def __init__(self, addr, dirty, prefetched, ready_time):
+        self.addr = addr
+        self.dirty = dirty
+        self.prefetched = prefetched
+        self.ready_time = ready_time
+
+
+class ReferenceCache:
+    """Linear-scan LRU cache with the exact pre-optimization semantics."""
+
+    def __init__(self, config, stats, prefetch_outcome=None):
+        self.config = config
+        self.stats = stats
+        self._prefetch_outcome = prefetch_outcome
+        self._offset_bits = config.block_offset_bits
+        self._index_mask = config.num_sets - 1
+        self._block_mask = ~(config.block_bytes - 1)
+        self._sets = [[] for _ in range(config.num_sets)]
+        self.last_was_prefetched = False
+
+    def _set_for(self, addr):
+        index = ((addr & self._block_mask) >> self._offset_bits) & self._index_mask
+        return self._sets[index]
+
+    def _scan(self, addr):
+        block = addr & self._block_mask
+        for line in self._set_for(addr):
+            if line.addr == block:
+                return line
+        return None
+
+    def contains(self, addr):
+        return self._scan(addr) is not None
+
+    def peek(self, addr):
+        return self._scan(addr)
+
+    def access(self, addr, is_write):
+        self.stats.accesses += 1
+        self.last_was_prefetched = False
+        lines = self._set_for(addr)
+        line = self._scan(addr)
+        if line is None:
+            self.stats.misses += 1
+            return None
+        lines.remove(line)
+        lines.insert(0, line)
+        if is_write:
+            line.dirty = True
+        if line.prefetched:
+            line.prefetched = False
+            self.last_was_prefetched = True
+            if self._prefetch_outcome is not None:
+                self._prefetch_outcome(True)
+        self.stats.hits += 1
+        return line
+
+    def fill(self, addr, ready_time, dirty=False, insertion="mru", prefetched=False):
+        block = addr & self._block_mask
+        lines = self._set_for(addr)
+        line = self._scan(addr)
+        if line is not None:
+            line.dirty = line.dirty or dirty
+            line.ready_time = min(line.ready_time, ready_time)
+            if not prefetched:
+                line.prefetched = False
+            return None
+        victim = None
+        if len(lines) >= self.config.assoc:
+            victim = lines.pop()
+            self.stats.evictions += 1
+            if victim.prefetched and self._prefetch_outcome is not None:
+                self._prefetch_outcome(False)
+        slot = insertion_index(insertion, self.config.assoc)
+        line = _RefLine(block, dirty, prefetched, ready_time)
+        lines.insert(min(slot, len(lines)), line)
+        return victim
+
+    def invalidate(self, addr):
+        line = self._scan(addr)
+        if line is None:
+            return None
+        self._set_for(addr).remove(line)
+        return line
+
+    def resident_order(self):
+        return [[line.addr for line in lines] for lines in self._sets]
+
+
+def _line_view(line):
+    if line is None:
+        return None
+    return (line.addr, line.dirty, line.prefetched, line.ready_time)
+
+
+def _optimized_resident_order(cache):
+    return [[line.addr for line in lines] for lines in cache._sets]
+
+
+GEOMETRIES = [
+    # (size, assoc, block): direct-mapped, 2-way, 4-way, and the 16-way
+    # high-associativity case the tag index exists for.
+    (4 * 64, 1, 64),
+    (4 * 2 * 64, 2, 64),
+    (8 * 4 * 64, 4, 64),
+    (2 * 16 * 128, 16, 128),
+]
+
+
+@pytest.mark.parametrize("size,assoc,block", GEOMETRIES)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_randomized_sequences_agree(size, assoc, block, seed):
+    config = CacheConfig(size_bytes=size, assoc=assoc, block_bytes=block, hit_latency=1)
+    opt_outcomes, ref_outcomes = [], []
+    opt = SetAssociativeCache(config, CacheStats(), prefetch_outcome=opt_outcomes.append)
+    ref = ReferenceCache(config, CacheStats(), prefetch_outcome=ref_outcomes.append)
+
+    rng = np.random.default_rng(seed)
+    # A small address pool over ~2x the cache capacity forces constant
+    # conflicts, merges, and evictions.
+    pool = int(rng.integers(2, 5)) * config.num_blocks
+    priorities = sorted(INSERTION_PRIORITIES)
+
+    for step in range(4000):
+        op = int(rng.integers(6))
+        addr = int(rng.integers(pool)) * (block // 2)  # sub-block offsets too
+        if op <= 1:
+            is_write = bool(rng.integers(2))
+            got = opt.access(addr, is_write)
+            want = ref.access(addr, is_write)
+            assert _line_view(got) == _line_view(want), f"access diverged at step {step}"
+            assert opt.last_was_prefetched == ref.last_was_prefetched
+        elif op <= 3:
+            ready = float(rng.integers(1000))
+            dirty = bool(rng.integers(2))
+            insertion = priorities[int(rng.integers(len(priorities)))]
+            prefetched = bool(rng.integers(2))
+            got = opt.fill(addr, ready, dirty=dirty, insertion=insertion, prefetched=prefetched)
+            want = ref.fill(addr, ready, dirty=dirty, insertion=insertion, prefetched=prefetched)
+            assert _line_view(got) == _line_view(want), f"fill victim diverged at step {step}"
+        elif op == 4:
+            got = opt.invalidate(addr)
+            want = ref.invalidate(addr)
+            assert _line_view(got) == _line_view(want), f"invalidate diverged at step {step}"
+        else:
+            assert opt.contains(addr) == ref.contains(addr)
+            assert _line_view(opt.peek(addr)) == _line_view(ref.peek(addr))
+
+        if step % 257 == 0:
+            assert _optimized_resident_order(opt) == ref.resident_order(), (
+                f"recency order diverged at step {step}"
+            )
+
+    assert _optimized_resident_order(opt) == ref.resident_order()
+    assert opt.stats.to_dict() == ref.stats.to_dict()
+    assert opt_outcomes == ref_outcomes
+    assert opt.occupancy() == sum(len(s) for s in ref._sets)
+
+
+@pytest.mark.parametrize("size,assoc,block", GEOMETRIES)
+def test_access_results_agree_lockstep(size, assoc, block):
+    """Access returns (hit line vs None) compared on every step."""
+    config = CacheConfig(size_bytes=size, assoc=assoc, block_bytes=block, hit_latency=1)
+    opt = SetAssociativeCache(config, CacheStats())
+    ref = ReferenceCache(config, CacheStats())
+    rng = np.random.default_rng(99)
+    pool = 3 * config.num_blocks
+    for step in range(3000):
+        addr = int(rng.integers(pool)) * block
+        is_write = bool(rng.integers(2))
+        if rng.integers(3) == 0:
+            got = opt.fill(addr, ready_time=float(step))
+            want = ref.fill(addr, ready_time=float(step))
+            assert _line_view(got) == _line_view(want)
+        got = opt.access(addr, is_write)
+        want = ref.access(addr, is_write)
+        assert _line_view(got) == _line_view(want), f"access diverged at step {step}"
+        assert opt.last_was_prefetched == ref.last_was_prefetched
+    assert opt.stats.to_dict() == ref.stats.to_dict()
