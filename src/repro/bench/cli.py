@@ -15,6 +15,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro import __version__
 from repro.bench.harness import (
     compare_counters,
     load_result,
@@ -31,6 +32,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="repro-bench",
         description="Benchmark the simulator's hot paths (deterministic workloads, "
         "warmup/repeat/median timing).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     parser.add_argument(
         "--label",

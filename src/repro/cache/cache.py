@@ -22,11 +22,14 @@ views cannot drift.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.cache.replacement import INSERTION_PRIORITIES, insertion_index
 from repro.core.config import CacheConfig
 from repro.core.stats import CacheStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import Observer
 
 __all__ = ["CacheLine", "SetAssociativeCache"]
 
@@ -58,6 +61,8 @@ class SetAssociativeCache:
         "_tags",
         "_insert_index",
         "last_was_prefetched",
+        "_obs",
+        "_level",
     )
 
     def __init__(
@@ -65,9 +70,14 @@ class SetAssociativeCache:
         config: CacheConfig,
         stats: CacheStats,
         prefetch_outcome: Optional[Callable[[bool], None]] = None,
+        obs: "Optional[Observer]" = None,
+        level: str = "cache",
     ) -> None:
         self.config = config
         self.stats = stats
+        #: optional observer; ``None`` keeps every fill at one falsy check.
+        self._obs = obs
+        self._level = level
         #: callback invoked with True (useful) / False (evicted unused)
         #: for each prefetched line's final outcome; feeds the engine's
         #: accuracy throttle and the global prefetch counters.
@@ -191,6 +201,16 @@ class SetAssociativeCache:
         line = CacheLine(block, dirty, prefetched, ready_time)
         lines.insert(min(slot, len(lines)), line)
         tags[block] = line
+        obs = self._obs
+        if obs is not None:
+            obs.cache_fill(
+                self._level,
+                ready_time,
+                block,
+                prefetched,
+                victim.addr if victim is not None else None,
+                victim.prefetched if victim is not None else False,
+            )
         return victim
 
     def invalidate(self, addr: int) -> Optional[CacheLine]:

@@ -14,12 +14,15 @@ Idealizations used by the paper's Figure 1 / Figure 5 targets:
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.cache.cache import SetAssociativeCache
 from repro.core.config import SystemConfig
 from repro.core.stats import SimStats
 from repro.dram.controller import MemoryController
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import Observer
 
 __all__ = ["AccessKind", "MemoryHierarchy"]
 
@@ -51,24 +54,34 @@ class MemoryHierarchy:
         "_perfect_memory",
         "_perfect_l2",
         "_l2_hit_latency",
+        "_obs",
     )
 
-    def __init__(self, config: SystemConfig, stats: SimStats) -> None:
+    def __init__(
+        self,
+        config: SystemConfig,
+        stats: SimStats,
+        obs: "Optional[Observer]" = None,
+    ) -> None:
         self.config = config
         self.stats = stats
-        self.l1i = SetAssociativeCache(config.l1i, stats.l1i)
-        self.l1d = SetAssociativeCache(config.l1d, stats.l1d)
+        self._obs = obs
+        self.l1i = SetAssociativeCache(config.l1i, stats.l1i, obs=obs, level="l1i")
+        self.l1d = SetAssociativeCache(config.l1d, stats.l1d, obs=obs, level="l1d")
         self.controller = MemoryController(
             config.dram,
             config.core,
             stats,
             prefetch=config.prefetch,
             block_bytes=config.l2.block_bytes,
+            obs=obs,
         )
         self.l2 = SetAssociativeCache(
             config.l2,
             stats.l2,
             prefetch_outcome=self._prefetch_outcome,
+            obs=obs,
+            level="l2",
         )
         self.controller.connect_l2(self._prefetch_fill, self.l2.contains)
         self._l1_latency = {
@@ -121,14 +134,37 @@ class MemoryHierarchy:
         l1 = self.l1i if kind == AccessKind.IFETCH else self.l1d
 
         line = l1.access(addr, kind == AccessKind.STORE)
+        obs = self._obs
         if line is not None:
             hit_done = time + l1_latency
             ready = line.ready_time
             if ready > time:
                 l1.stats.delayed_hits += 1
+                if obs is not None:
+                    # A hit on an in-flight fill: the MSHR-style merge.
+                    obs.instant(
+                        "l1i-mshr-merge" if kind == AccessKind.IFETCH else "l1d-mshr-merge",
+                        time,
+                        obs.MSHR,
+                        {"addr": addr},
+                    )
                 return (ready if ready > hit_done else hit_done), False
+            if obs is not None:
+                obs.instant(
+                    "l1i-hit" if kind == AccessKind.IFETCH else "l1d-hit",
+                    time,
+                    obs.CACHE,
+                    {"addr": addr},
+                )
             return hit_done, False
 
+        if obs is not None:
+            obs.instant(
+                "l1i-miss" if kind == AccessKind.IFETCH else "l1d-miss",
+                time,
+                obs.CACHE,
+                {"addr": addr, "kind": AccessKind.NAMES[kind]},
+            )
         # L1 miss: the L2 sees the request after the L1 lookup.
         t2 = time + l1_latency
         data_ready = self._l2_access(t2, addr, pc)
@@ -147,23 +183,36 @@ class MemoryHierarchy:
             self.stats.l2.hits += 1
             return t2 + l2_latency
         line = self.l2.access(addr, is_write=False)
+        obs = self._obs
         if line is not None:
             # Hit: the access needs no channel time, so the prefetch
             # engine may use the idle interval up to now.  (On a miss
             # the demand is scheduled *first* — the access prioritizer
             # never starts a prefetch while a demand is pending.)
             self.controller.advance(t2)
+            if obs is not None:
+                obs.instant("l2-hit", t2, obs.CACHE, {"addr": addr})
+                if self.l2.last_was_prefetched:
+                    obs.prefetch_first_use(t2, self.l2.block_address(addr))
             if line.ready_time > t2:
                 self.stats.l2.delayed_hits += 1
                 if self.l2.last_was_prefetched:
                     self.stats.prefetches_late += 1
+                    if obs is not None:
+                        obs.instant(
+                            "prefetch-late", t2, obs.PREFETCH, {"addr": addr}
+                        )
                 return max(t2 + l2_latency, line.ready_time)
             return t2 + l2_latency
 
         block = self.l2.block_address(addr)
+        if obs is not None:
+            obs.instant("l2-miss", t2, obs.CACHE, {"addr": addr})
         completion = self.controller.demand_fetch(t2, block, pc=pc)
         self.stats.l2_demand_fetches += 1
         self.stats.l2_miss_latency_sum += completion - t2
+        if obs is not None:
+            obs.record("l2_miss_latency.demand", completion - t2)
         victim = self.l2.fill(block, ready_time=completion, dirty=False, insertion="mru")
         if victim is not None and victim.dirty:
             self.controller.writeback(completion, victim.addr)

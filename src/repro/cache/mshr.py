@@ -10,7 +10,10 @@ limit: a new miss must wait for a free MSHR when all are outstanding.
 from __future__ import annotations
 
 import heapq
-from typing import List
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import Observer
 
 __all__ = ["MSHRFile"]
 
@@ -18,15 +21,22 @@ __all__ = ["MSHRFile"]
 class MSHRFile:
     """Bounded set of outstanding fills, tracked as completion times."""
 
-    __slots__ = ("entries", "_completions", "stalls")
+    __slots__ = ("entries", "_completions", "stalls", "_obs", "_level")
 
-    def __init__(self, entries: int) -> None:
+    def __init__(
+        self,
+        entries: int,
+        obs: "Optional[Observer]" = None,
+        level: str = "l1d",
+    ) -> None:
         if entries < 1:
             raise ValueError("MSHR file needs at least one entry")
         self.entries = entries
         self._completions: List[float] = []
         #: number of times a miss had to wait for a free MSHR.
         self.stalls = 0
+        self._obs = obs
+        self._level = level
 
     def __len__(self) -> int:
         return len(self._completions)
@@ -40,6 +50,14 @@ class MSHRFile:
             return now
         self.stalls += 1
         wait_until = heapq.heappop(heap)
+        obs = self._obs
+        if obs is not None:
+            obs.instant(
+                f"{self._level}-mshr-stall",
+                now,
+                obs.MSHR,
+                {"until": wait_until, "outstanding": self.entries},
+            )
         # Entries completing at the same instant free together.
         while heap and heap[0] <= wait_until:
             heapq.heappop(heap)

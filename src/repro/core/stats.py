@@ -198,10 +198,13 @@ class SimStats:
 
     @property
     def overall_row_hit_rate(self) -> float:
-        total = DRAMClassStats()
-        for cls in (self.dram_reads, self.dram_writebacks, self.dram_prefetches):
-            total.merge(cls)
-        return total.row_hit_rate
+        # Summed directly: this is read per report row, and building a
+        # throwaway DRAMClassStats just to divide two sums is waste.
+        classes = (self.dram_reads, self.dram_writebacks, self.dram_prefetches)
+        accesses = sum(cls.accesses for cls in classes)
+        if not accesses:
+            return 0.0
+        return sum(cls.row_hits for cls in classes) / accesses
 
     def summary(self) -> Dict[str, float]:
         """Flat dictionary of headline metrics, for reports and tests."""

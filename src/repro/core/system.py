@@ -9,13 +9,16 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.core.config import SystemConfig
 from repro.core.stats import SimStats
 from repro.cpu.core import OutOfOrderCore
 from repro.cpu.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.observer import Observer
 
 __all__ = ["System", "simulate"]
 
@@ -26,13 +29,18 @@ class System:
     A ``System`` is single-use per run in the sense that caches and DRAM
     state persist across :meth:`run` calls (useful for warm-up phases);
     construct a fresh instance for an independent experiment.
+
+    ``obs`` threads an optional :class:`repro.obs.Observer` through
+    every component; observability never changes the simulation — the
+    statistics are byte-identical with it on or off.
     """
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(self, config: SystemConfig, obs: "Optional[Observer]" = None) -> None:
         self.config = config.validate()
         self.stats = SimStats()
-        self.hierarchy = MemoryHierarchy(config, self.stats)
-        self.core = OutOfOrderCore(config, self.hierarchy, self.stats)
+        self.obs = obs
+        self.hierarchy = MemoryHierarchy(config, self.stats, obs=obs)
+        self.core = OutOfOrderCore(config, self.hierarchy, self.stats, obs=obs)
         self._clock = 0.0
 
     def run(self, trace: Trace) -> SimStats:
@@ -43,8 +51,16 @@ class System:
     def warmup(self, trace: Trace) -> None:
         """Run ``trace`` to warm caches and DRAM state, then zero the
         statistics; the simulated clock keeps advancing so utilization
-        accounting stays consistent."""
-        self.run(trace)
+        accounting stays consistent.  Observability is muted for the
+        duration — like the statistics, recorded traces and histograms
+        cover only the measured window."""
+        if self.obs is not None:
+            self.obs.mute()
+        try:
+            self.run(trace)
+        finally:
+            if self.obs is not None:
+                self.obs.unmute()
         self.stats.reset()
 
 
@@ -52,14 +68,17 @@ def simulate(
     trace: Trace,
     config: SystemConfig,
     warmup_trace: Optional[Trace] = None,
+    obs: "Optional[Observer]" = None,
 ) -> SimStats:
     """Run ``trace`` on a fresh system built from ``config``.
 
     ``warmup_trace``, when given, runs first and is excluded from the
     returned statistics (the paper similarly verified that cold-start
-    misses did not perturb its measurements, Section 3.1).
+    misses did not perturb its measurements, Section 3.1).  ``obs``
+    optionally records traces/histograms/timelines without perturbing
+    the statistics.
     """
-    system = System(config)
+    system = System(config, obs=obs)
     if warmup_trace is not None:
         system.warmup(warmup_trace)
     return system.run(trace)

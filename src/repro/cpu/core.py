@@ -24,13 +24,16 @@ instruction-fetch miss stalls dispatch until the fetch completes.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque
+from typing import TYPE_CHECKING, Deque, Optional
 
 from repro.cache.hierarchy import AccessKind, MemoryHierarchy
 from repro.cache.mshr import MSHRFile
 from repro.core.config import SystemConfig
 from repro.core.stats import SimStats
 from repro.cpu.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import Observer
 
 __all__ = ["OutOfOrderCore"]
 
@@ -42,10 +45,17 @@ STORE_COMMIT_LATENCY = 1
 class OutOfOrderCore:
     """Executes a :class:`Trace` against a :class:`MemoryHierarchy`."""
 
-    def __init__(self, config: SystemConfig, hierarchy: MemoryHierarchy, stats: SimStats) -> None:
+    def __init__(
+        self,
+        config: SystemConfig,
+        hierarchy: MemoryHierarchy,
+        stats: SimStats,
+        obs: "Optional[Observer]" = None,
+    ) -> None:
         self.config = config
         self.hierarchy = hierarchy
         self.stats = stats
+        self._obs = obs
 
     def run(self, trace: Trace, start_time: float = 0.0) -> float:
         """Simulate the whole trace starting at ``start_time``.
@@ -74,8 +84,9 @@ class OutOfOrderCore:
         lsq_size = cfg.lsq_size
         use_swpf = self.config.software_prefetch
 
-        d_mshrs = MSHRFile(self.config.l1d.mshrs)
-        i_mshrs = MSHRFile(self.config.l1i.mshrs)
+        obs = self._obs  # None in normal runs: one falsy check per event site
+        d_mshrs = MSHRFile(self.config.l1d.mshrs, obs=obs, level="l1d")
+        i_mshrs = MSHRFile(self.config.l1i.mshrs, obs=obs, level="l1i")
         d_acquire = d_mshrs.acquire
         d_commit = d_mshrs.commit
         i_acquire = i_mshrs.acquire
@@ -132,6 +143,9 @@ class OutOfOrderCore:
                 completion, missed = access(ready, addr, IFETCH, pc)
                 if missed:
                     i_commit(completion)
+                    if obs is not None:
+                        # MSHR held from allocation to the fill's return.
+                        obs.span("l1i-mshr", ready, completion, obs.MSHR, {"addr": addr})
                     # Fetch stalls: nothing dispatches until the line returns.
                     if completion > dispatch:
                         dispatch = completion
@@ -166,6 +180,8 @@ class OutOfOrderCore:
             completion, missed = access(issue, addr, kind, pc)
             if missed:
                 d_commit(completion)
+                if obs is not None:
+                    obs.span("l1d-mshr", issue, completion, obs.MSHR, {"addr": addr})
 
             if kind == LOAD:
                 loads += 1

@@ -94,12 +94,27 @@ class BankArray:
         """Logical indices of the sense-amp neighbours of ``index``."""
         return self._neighbours[index]
 
-    def activate(self, index: int, row: int) -> None:
-        """Latch ``row`` in bank ``index``, flushing sense-amp neighbours."""
+    def activate(
+        self, index: int, row: int, collect_flushed: bool = False
+    ) -> Optional[List[int]]:
+        """Latch ``row`` in bank ``index``, flushing sense-amp neighbours.
+
+        With ``collect_flushed`` (used by the observability layer) the
+        indices of neighbouring banks whose open rows were lost are
+        gathered and returned; the default path builds nothing.
+        """
         banks = self.banks
         banks[index].activate(row)
+        if not collect_flushed:
+            for n in self._neighbours[index]:
+                banks[n].flush_for_neighbour()
+            return None
+        flushed: List[int] = []
         for n in self._neighbours[index]:
+            if banks[n].open_row is not None:
+                flushed.append(n)
             banks[n].flush_for_neighbour()
+        return flushed
 
     def open_banks(self) -> int:
         """Number of banks with a latched row (diagnostics)."""

@@ -25,12 +25,15 @@ while the previous request's data packets still occupy the data bus.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.core.config import CoreConfig, DRAMConfig
 from repro.core.stats import DRAMClassStats, SimStats
 from repro.dram.bank import BankArray
 from repro.dram.mapping import DRAMCoordinates
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import Observer
 
 __all__ = ["AccessOutcome", "LogicalChannel"]
 
@@ -59,11 +62,28 @@ class LogicalChannel:
         "row_bus_free",
         "col_bus_free",
         "data_bus_free",
+        "_obs",
+        "_cls_names",
     )
 
-    def __init__(self, config: DRAMConfig, core: CoreConfig, stats: SimStats) -> None:
+    def __init__(
+        self,
+        config: DRAMConfig,
+        core: CoreConfig,
+        stats: SimStats,
+        obs: "Optional[Observer]" = None,
+    ) -> None:
         self.config = config
         self.stats = stats
+        self._obs = obs
+        # Access-class labels for observability, resolved by identity of
+        # the per-class stats bucket the caller passes to :meth:`access`
+        # (buckets outside this SimStats — unit tests — read "other").
+        self._cls_names = {
+            id(stats.dram_reads): "demand",
+            id(stats.dram_writebacks): "writeback",
+            id(stats.dram_prefetches): "prefetch",
+        }
         part = config.part
         self._t_prer = core.ns_to_cycles(part.t_prer_ns)
         self._t_act = core.ns_to_cycles(part.t_act_ns)
@@ -134,12 +154,32 @@ class LogicalChannel:
         outcome = self.classify(coords)
         cls.accesses += 1
         stats = self.stats
+        obs = self._obs  # observability is read-only: timings are untouched
+        if obs is not None:
+            cls_name = self._cls_names.get(id(cls), "other")
+            obs.instant(
+                "dram-enqueue",
+                time,
+                obs.DRAM,
+                {
+                    "class": cls_name,
+                    "bank": coords.bank,
+                    "row": coords.row,
+                    "outcome": outcome,
+                },
+            )
+            obs.timeline.add("dram_accesses", time)
 
         if outcome == AccessOutcome.ROW_HIT:
             # Consecutive column reads of an open row pipeline freely;
             # bank.busy_until only gates precharge/activate.
             cls.row_hits += 1
             row_ready = time
+            if obs is not None:
+                obs.instant(
+                    "row-hit", time, obs.DRAM, {"bank": coords.bank, "row": coords.row}
+                )
+                obs.timeline.add("dram_row_hits", time)
         else:
             if outcome == AccessOutcome.ROW_EMPTY:
                 cls.row_empty += 1
@@ -155,9 +195,25 @@ class LogicalChannel:
             self.row_bus_free = act_start + self._t_packet
             stats.row_bus_busy += self._t_packet
             row_ready = act_start + self._t_act
-            self.banks.activate(coords.bank, coords.row)
+            flushed = self.banks.activate(coords.bank, coords.row, obs is not None)
+            if obs is not None:
+                obs.instant(
+                    "row-activate",
+                    act_start,
+                    obs.DRAM,
+                    {"bank": coords.bank, "row": coords.row, "class": cls_name},
+                )
+                if flushed:
+                    for neighbour in flushed:
+                        obs.instant(
+                            "row-flushed-by-neighbour",
+                            act_start,
+                            obs.DRAM,
+                            {"bank": neighbour, "activated_bank": coords.bank},
+                        )
 
         first_data = 0.0
+        first_cmd = 0.0
         for i in range(packets):
             # RD/WR commands stream on the column bus at one packet per
             # packet time; their data packets follow in command order,
@@ -173,6 +229,18 @@ class LogicalChannel:
             stats.data_packets += 1
             if i == 0:
                 first_data = data_end
+                first_cmd = cmd_start
+            if obs is not None:
+                obs.instant("column-access", cmd_start, obs.DRAM, {"bank": coords.bank})
+                burst_start = data_end - self._t_transfer
+                obs.complete(
+                    "data-burst",
+                    burst_start,
+                    self._t_transfer,
+                    obs.DRAM,
+                    {"bank": coords.bank, "class": cls_name},
+                )
+                obs.timeline.add("data_bus_busy", burst_start, self._t_transfer)
         completion = self.data_bus_free
         bank.busy_until = completion
 
@@ -184,5 +252,19 @@ class LogicalChannel:
             stats.row_bus_busy += self._t_packet
             bank.precharge()
             bank.busy_until = prer_start + self._t_prer
+
+        if obs is not None:
+            # Queue wait = arrival to the first command of the request's
+            # own sequence (PRER on a conflict, ACT on an empty bank, the
+            # first RD/WR on a row hit); service = that command to the
+            # last data packet.
+            if outcome == AccessOutcome.ROW_HIT:
+                service_start = first_cmd
+            elif outcome == AccessOutcome.ROW_EMPTY:
+                service_start = act_start
+            else:
+                service_start = prer_start
+            obs.record(f"dram_queue_wait.{cls_name}", service_start - time)
+            obs.record(f"dram_service.{cls_name}", completion - service_start)
 
         return first_data, completion

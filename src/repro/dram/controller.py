@@ -17,7 +17,7 @@ channel and inflating miss latency dramatically.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.config import CoreConfig, DRAMConfig, PrefetchConfig
 from repro.core.stats import SimStats
@@ -25,6 +25,9 @@ from repro.dram.channel import LogicalChannel
 from repro.dram.mapping import make_mapping
 from repro.prefetch.engine import RegionPrefetcher
 from repro.prefetch.stride import StridePrefetcher
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import Observer
 
 __all__ = ["MemoryController"]
 
@@ -48,6 +51,7 @@ class MemoryController:
         "_scheduled",
         "_prefetch_fill",
         "_resident",
+        "_obs",
     )
 
     def __init__(
@@ -57,11 +61,13 @@ class MemoryController:
         stats: SimStats,
         prefetch: Optional[PrefetchConfig] = None,
         block_bytes: int = 64,
+        obs: "Optional[Observer]" = None,
     ) -> None:
         self.config = dram
         self.stats = stats
+        self._obs = obs
         self.mapping = make_mapping(dram)
-        self.channel = LogicalChannel(dram, core, stats)
+        self.channel = LogicalChannel(dram, core, stats, obs=obs)
         self.block_bytes = block_bytes
         self._block_packets = dram.transfer_packets(block_bytes)
         self._packet_time = core.ns_to_cycles(dram.part.t_packet_ns)
@@ -73,9 +79,9 @@ class MemoryController:
         self._scheduled = True
         if prefetch is not None and prefetch.enabled:
             if prefetch.engine == "stride":
-                self.prefetcher = StridePrefetcher(block_bytes, stats)
+                self.prefetcher = StridePrefetcher(block_bytes, stats, obs=obs)
             else:
-                self.prefetcher = RegionPrefetcher(prefetch, block_bytes, stats)
+                self.prefetcher = RegionPrefetcher(prefetch, block_bytes, stats, obs=obs)
             self._scheduled = prefetch.scheduled
         # Wired by the system once the L2 exists.
         self._prefetch_fill: Optional[PrefetchFill] = None
@@ -116,8 +122,15 @@ class MemoryController:
         _, completion = self.channel.access(
             time, coords, self._block_packets, is_write=False, cls=self.stats.dram_reads
         )
+        obs = self._obs
+        if obs is not None:
+            obs.span("dram-demand", time, completion, obs.DEMAND, {"addr": addr})
         if self.prefetcher is not None and notify_prefetcher:
-            self.prefetcher.on_demand_miss(addr, pc=pc)
+            self.prefetcher.on_demand_miss(addr, pc=pc, now=time)
+            if obs is not None:
+                obs.timeline.high_water(
+                    "prefetch_queue_depth", time, float(self.prefetcher.queue_depth())
+                )
             if not self._scheduled:
                 self._drain_all_prefetches(time)
         return completion
@@ -129,6 +142,9 @@ class MemoryController:
             time, coords, self._block_packets, is_write=True, cls=self.stats.dram_writebacks
         )
         self.stats.l2.writebacks += 1
+        obs = self._obs
+        if obs is not None:
+            obs.span("dram-writeback", time, completion, obs.WRITEBACK, {"addr": addr})
         return completion
 
     # -- prefetch issue --------------------------------------------------------
@@ -136,7 +152,7 @@ class MemoryController:
     def _issue_prefetch(self, time: float) -> Optional[float]:
         """Issue one prefetch block at ``time``; returns completion or None."""
         assert self.prefetcher is not None
-        addr = self.prefetcher.select(self.channel, self.mapping, self._resident)
+        addr = self.prefetcher.select(self.channel, self.mapping, self._resident, now=time)
         if addr is None:
             return None
         coords = self.mapping.translate(addr)
@@ -144,6 +160,15 @@ class MemoryController:
             time, coords, self._block_packets, is_write=False, cls=self.stats.dram_prefetches
         )
         self.stats.prefetches_issued += 1
+        obs = self._obs
+        if obs is not None:
+            # The span is the prefetch's issue→fill lifetime; the fill
+            # instant marks when the block lands in the L2.
+            obs.span("prefetch-inflight", time, completion, obs.PREFETCH, {"addr": addr})
+            obs.instant("prefetch-fill", completion, obs.PREFETCH, {"addr": addr})
+            obs.timeline.high_water(
+                "prefetch_queue_depth", time, float(self.prefetcher.queue_depth())
+            )
         if self._prefetch_fill is not None:
             self._prefetch_fill(addr, completion)
         return completion

@@ -33,6 +33,7 @@ import sys
 import time
 from typing import List, Optional
 
+from repro import __version__
 from repro.core.config import ConfigError
 from repro.experiments.common import PROFILES
 from repro.runner import PointFailureError, Runner, set_runner
@@ -105,6 +106,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Regenerate tables/figures from Lin, Reinhardt & Burger (HPCA 2001).",
     )
     parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all"],
         help="which paper result to regenerate",
@@ -161,6 +165,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         "the points that succeeded instead of aborting",
     )
     parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record a Chrome trace-event JSON of every simulated point "
+        "(load in Perfetto / chrome://tracing); forces inline execution "
+        "and skips cache reads so events are actually generated",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="write per-point latency histograms and windowed timelines "
+        "as JSON (merged aggregates included); forces inline execution",
+    )
+    parser.add_argument(
+        "--run-log",
+        default=None,
+        metavar="FILE",
+        help="append one JSON line per runner lifecycle event "
+        "(point started/retried/timed-out/completed) to FILE",
+    )
+    parser.add_argument(
         "--profile-sim",
         nargs="?",
         const="mcf",
@@ -195,12 +221,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         runner_kwargs["timeout"] = args.job_timeout
     if args.max_retries is not None:
         runner_kwargs["max_retries"] = args.max_retries
+    session = None
+    if args.trace or args.metrics:
+        from repro.obs import ObsSession
+
+        session = ObsSession(trace_path=args.trace, metrics_path=args.metrics)
+    run_log = None
+    if args.run_log:
+        from repro.obs import JsonlSink
+
+        try:
+            run_log = JsonlSink(args.run_log)
+        except OSError as error:
+            parser.error(f"cannot open run log {args.run_log!r}: {error}")
     try:
         runner = Runner(
             jobs=args.jobs,
             cache_dir=cache_dir,
             progress=args.progress,
             keep_going=args.keep_going,
+            run_log=run_log,
+            observe=session,
             **runner_kwargs,
         )
     except OSError as error:
@@ -235,6 +276,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ConfigError as error:
         print(f"repro-experiment: invalid configuration: {error}", file=sys.stderr)
         return 2
+    finally:
+        # Observability output lands on every exit path (an interrupted
+        # sweep keeps the points already committed); notices go to
+        # stderr — stdout stays byte-identical with and without
+        # --trace/--metrics/--run-log.
+        if run_log is not None:
+            run_log.close()
+        if session is not None:
+            try:
+                for path in session.close():
+                    print(f"[obs] wrote {path}", file=sys.stderr)
+            except OSError as error:
+                print(
+                    f"[obs] could not write observability output: {error}",
+                    file=sys.stderr,
+                )
     if runner.failures:
         print(runner.failure_report(), file=sys.stderr)
     summary = runner.summary()

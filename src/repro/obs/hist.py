@@ -1,0 +1,165 @@
+"""Power-of-two-bucket latency histograms.
+
+The paper argues from latency *distributions* — prefetches hitting open
+rows "nearly 100%" of the time, demand misses bypassing queued
+prefetches — which sums and means cannot show.  A
+:class:`LatencyHistogram` buckets samples by the power of two they fall
+under: bucket *e* holds samples ``v`` with ``2**(e-1) <= v < 2**e``
+(bucket 0 holds everything below 1, including zero).  That keeps the
+histogram tiny (a DRAM latency of a million cycles still needs only ~20
+buckets), mergeable across simulation points, and exact under a
+``to_dict``/``from_dict`` round trip — the same contract
+:class:`repro.core.stats.SimStats` honours for the runner's result
+cache.
+
+Percentile accessors return the *upper bound* of the bucket containing
+the requested rank: a conservative estimate whose error is bounded by
+the 2x bucket width, which is plenty for "is p99 queue wait growing"
+questions and costs nothing to maintain online.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping
+
+__all__ = ["LatencyHistogram", "bucket_index", "bucket_upper_bound"]
+
+
+def bucket_index(value: float) -> int:
+    """Power-of-two bucket for ``value``.
+
+    ``0`` for values below 1 (or non-positive); otherwise the exponent
+    ``e`` with ``2**(e-1) <= value < 2**e``.  Exact powers of two land
+    in the bucket they open: ``bucket_index(8.0) == 4``.
+    """
+    if value < 1.0:
+        return 0
+    # frexp(v) = (m, e) with v == m * 2**e and 0.5 <= m < 1, so
+    # 2**(e-1) <= v < 2**e: the exponent *is* the bucket.
+    return math.frexp(value)[1]
+
+
+def bucket_upper_bound(index: int) -> float:
+    """Exclusive upper edge of bucket ``index`` (1.0 for bucket 0)."""
+    return float(2 ** max(index, 0))
+
+
+class LatencyHistogram:
+    """Sparse power-of-two histogram with exact merge/round-trip."""
+
+    __slots__ = ("counts", "total", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        #: bucket index -> sample count (sparse; only touched buckets).
+        self.counts: Dict[int, int] = {}
+        self.total = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        index = bucket_index(value)
+        self.counts[index] = self.counts.get(index, 0) + 1
+        self.total += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    # -- summary accessors --------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Upper bound of the bucket containing the ``fraction`` rank.
+
+        ``fraction`` is in ``[0, 1]``; an empty histogram returns 0.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if not self.total:
+            return 0.0
+        rank = fraction * self.total
+        seen = 0
+        for index in sorted(self.counts):
+            seen += self.counts[index]
+            if seen >= rank:
+                return bucket_upper_bound(index)
+        return bucket_upper_bound(max(self.counts))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    # -- merge / serialization ----------------------------------------------
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's samples into this one."""
+        for index, count in other.counts.items():
+            self.counts[index] = self.counts.get(index, 0) + count
+        self.total += other.total
+        self.sum += other.sum
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form; the round trip is exact.
+
+        ``min``/``max`` are omitted while the histogram is empty (the
+        infinities are not JSON) and restored verbatim otherwise.
+        """
+        out: Dict[str, object] = {
+            "counts": {str(index): count for index, count in sorted(self.counts.items())},
+            "total": self.total,
+            "sum": self.sum,
+        }
+        if self.total:
+            out["min"] = self.min
+            out["max"] = self.max
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "LatencyHistogram":
+        hist = cls()
+        for index, count in dict(data.get("counts", {})).items():
+            hist.counts[int(index)] = int(count)
+        hist.total = int(data.get("total", 0))
+        hist.sum = float(data.get("sum", 0.0))
+        if hist.total:
+            hist.min = float(data["min"])
+            hist.max = float(data["max"])
+        return hist
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers for reports (not part of the round trip)."""
+        return {
+            "total": self.total,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "min": self.min if self.total else 0.0,
+            "max": self.max if self.total else 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LatencyHistogram(total={self.total}, mean={self.mean:.1f})"

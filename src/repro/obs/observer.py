@@ -1,0 +1,292 @@
+"""The observer threaded through the simulator, and the multi-point session.
+
+Components hold an optional :class:`Observer` (``self._obs``, ``None``
+by default).  Every instrumentation point in the hot paths is guarded
+by one falsy check — ``if obs is not None: ...`` — so the disabled
+path costs a single attribute test and the simulation itself is never
+perturbed: hooks only *read* simulator state, never mutate it, which is
+what keeps ``SimStats`` byte-identical with observability on and off
+(the golden A/B test asserts exactly that).
+
+An :class:`Observer` owns three sinks:
+
+* ``trace`` — an optional :class:`~repro.obs.trace.TraceWriter`
+  collecting Chrome trace events (``None`` when only metrics are on);
+* ``hists`` — lazily created
+  :class:`~repro.obs.hist.LatencyHistogram` instances keyed by metric
+  name (``dram_queue_wait.demand``, ``l2_miss_latency.demand``, ...);
+* ``timeline`` — a :class:`~repro.obs.timeline.Timeline` of windowed
+  series (channel utilization, row hit rate, prefetch-queue depth).
+
+An :class:`ObsSession` aggregates observers across the simulation
+points of one CLI invocation: each point gets its own trace process
+(``pid``) and metrics entry, committed only when the point's
+simulation attempt succeeds (a retried attempt's partial events are
+discarded), and ``close()`` writes the combined trace file and the
+metrics file whose per-point histograms fold into a merged aggregate
+the same way :func:`repro.core.stats.merge_stats` folds counters.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.obs.hist import LatencyHistogram
+from repro.obs.timeline import DEFAULT_WINDOW_CYCLES, Timeline
+from repro.obs.trace import TraceWriter
+
+__all__ = ["Observer", "ObsSession", "merge_histograms"]
+
+
+class Observer:
+    """Per-simulation event/metric collector (see the module docstring)."""
+
+    #: trace track (thread) ids; see :data:`repro.obs.trace.TRACK_NAMES`.
+    DEMAND = 1
+    WRITEBACK = 2
+    PREFETCH = 3
+    DRAM = 4
+    CACHE = 5
+    MSHR = 6
+
+    __slots__ = ("label", "trace", "hists", "timeline", "_restore")
+
+    def __init__(
+        self,
+        label: str = "sim",
+        pid: int = 1,
+        trace: bool = True,
+        window_cycles: int = DEFAULT_WINDOW_CYCLES,
+    ) -> None:
+        self.label = label
+        self.trace: Optional[TraceWriter] = TraceWriter(pid=pid, label=label) if trace else None
+        self.hists: Dict[str, LatencyHistogram] = {}
+        self.timeline = Timeline(window_cycles)
+        self._restore = None
+
+    # -- muting --------------------------------------------------------------
+
+    def mute(self) -> None:
+        """Silence all sinks until :meth:`unmute`.
+
+        Used around cache warm-up: the warm-up pass exists only to reach
+        steady state and its events would dwarf the measured window (it
+        is an L2-capacity's worth of misses).  Swapping the sinks out —
+        rather than flagging every hook — keeps the per-event hot paths
+        check-free, including direct ``obs.timeline`` accesses.
+        """
+        if self._restore is not None:
+            return
+        self._restore = (self.trace, self.hists, self.timeline)
+        self.trace = None
+        self.hists = {}
+        self.timeline = Timeline(self.timeline.window_cycles)
+
+    def unmute(self) -> None:
+        if self._restore is None:
+            return
+        self.trace, self.hists, self.timeline = self._restore
+        self._restore = None
+
+    # -- trace primitives (no-ops when tracing is off) -----------------------
+
+    def instant(
+        self, name: str, ts: float, tid: int, args: Optional[Dict[str, object]] = None
+    ) -> None:
+        if self.trace is not None:
+            self.trace.instant(name, ts, tid, args)
+
+    def begin(
+        self, name: str, ts: float, tid: int, args: Optional[Dict[str, object]] = None
+    ) -> int:
+        """Open an async lifecycle span; returns its id (0 if tracing is off)."""
+        if self.trace is None:
+            return 0
+        span_id = self.trace.next_id()
+        self.trace.begin(name, ts, tid, span_id, args)
+        return span_id
+
+    def end(
+        self,
+        name: str,
+        ts: float,
+        tid: int,
+        span_id: int,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if self.trace is not None and span_id:
+            self.trace.end(name, ts, tid, span_id, args)
+
+    def complete(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        tid: int,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if self.trace is not None:
+            self.trace.complete(name, ts, dur, tid, args)
+
+    def span(
+        self,
+        name: str,
+        ts0: float,
+        ts1: float,
+        tid: int,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Emit a closed async lifecycle span covering ``[ts0, ts1]``."""
+        if self.trace is not None:
+            span_id = self.trace.next_id()
+            self.trace.begin(name, ts0, tid, span_id, args)
+            self.trace.end(name, ts1, tid, span_id)
+
+    # -- histograms ----------------------------------------------------------
+
+    def record(self, name: str, value: float) -> None:
+        """Add one sample to the named latency histogram."""
+        hist = self.hists.get(name)
+        if hist is None:
+            hist = self.hists[name] = LatencyHistogram()
+        hist.record(value)
+
+    # -- composite hooks used by more than one component ---------------------
+
+    def cache_fill(
+        self,
+        level: str,
+        ts: float,
+        addr: int,
+        prefetched: bool,
+        victim_addr: Optional[int],
+        victim_prefetched: bool,
+    ) -> None:
+        """A cache installed a block (and possibly evicted a victim)."""
+        if self.trace is None:
+            return
+        self.trace.instant(
+            f"{level}-fill",
+            ts,
+            self.CACHE,
+            {"addr": addr, "prefetched": prefetched},
+        )
+        if victim_addr is not None:
+            self.trace.instant(f"{level}-evict", ts, self.CACHE, {"addr": victim_addr})
+            if victim_prefetched:
+                self.trace.instant(
+                    "prefetch-evicted-unused", ts, self.PREFETCH, {"addr": victim_addr}
+                )
+
+    def prefetch_first_use(self, ts: float, addr: int) -> None:
+        self.instant("prefetch-first-use", ts, self.PREFETCH, {"addr": addr})
+
+    # -- export --------------------------------------------------------------
+
+    def metrics_dict(self) -> Dict[str, object]:
+        """Plain-data metrics for this point (exact histogram round trip)."""
+        return {
+            "label": self.label,
+            "histograms": {name: h.to_dict() for name, h in sorted(self.hists.items())},
+            "histogram_summary": {
+                name: h.summary() for name, h in sorted(self.hists.items())
+            },
+            "timeline": self.timeline.to_dict(),
+        }
+
+    def write_trace(self, path: Union[str, Path]) -> Path:
+        """Write this observer's events as a standalone trace file."""
+        if self.trace is None:
+            raise ValueError("tracing is disabled on this observer")
+        return self.trace.write(path)
+
+
+def merge_histograms(
+    per_point: List[Mapping[str, Mapping[str, object]]]
+) -> Dict[str, LatencyHistogram]:
+    """Fold per-point histogram dicts into one histogram per metric.
+
+    The input entries are ``{metric name: histogram.to_dict()}``
+    mappings (exactly what the metrics file stores per point), so
+    aggregation over cached/partial metrics files works the same way
+    ``merge_stats`` folds :class:`~repro.core.stats.SimStats`.
+    """
+    merged: Dict[str, LatencyHistogram] = {}
+    for histograms in per_point:
+        for name, data in histograms.items():
+            hist = LatencyHistogram.from_dict(data)
+            if name in merged:
+                merged[name].merge(hist)
+            else:
+                merged[name] = hist
+    return merged
+
+
+class ObsSession:
+    """Trace/metrics collection across the points of one CLI run."""
+
+    def __init__(
+        self,
+        trace_path: Optional[Union[str, Path]] = None,
+        metrics_path: Optional[Union[str, Path]] = None,
+        window_cycles: int = DEFAULT_WINDOW_CYCLES,
+    ) -> None:
+        if trace_path is None and metrics_path is None:
+            raise ValueError("an ObsSession needs a trace path, a metrics path, or both")
+        self.trace_path = Path(trace_path) if trace_path else None
+        self.metrics_path = Path(metrics_path) if metrics_path else None
+        self.window_cycles = window_cycles
+        self._next_pid = 0
+        self._events: List[Dict[str, object]] = []
+        self._points: List[Dict[str, object]] = []
+
+    def begin_point(self, label: str) -> Observer:
+        """Fresh observer for one simulation attempt."""
+        self._next_pid += 1
+        return Observer(
+            label=label,
+            pid=self._next_pid,
+            trace=self.trace_path is not None,
+            window_cycles=self.window_cycles,
+        )
+
+    def commit_point(self, obs: Observer, key: Optional[str] = None) -> None:
+        """The attempt succeeded: keep its events and metrics.
+
+        An aborted attempt is simply never committed, so a retry cannot
+        leave a half-simulated point's events in the trace.
+        """
+        if obs.trace is not None:
+            self._events.extend(obs.trace.events)
+        entry = obs.metrics_dict()
+        if key is not None:
+            entry["key"] = key
+        self._points.append(entry)
+
+    def close(self) -> List[Path]:
+        """Write the requested output files; returns the paths written."""
+        import json
+
+        written: List[Path] = []
+        if self.trace_path is not None:
+            payload = {"traceEvents": self._events, "displayTimeUnit": "ms"}
+            self.trace_path.write_text(json.dumps(payload) + "\n")
+            written.append(self.trace_path)
+        if self.metrics_path is not None:
+            merged = merge_histograms(
+                [point.get("histograms", {}) for point in self._points]
+            )
+            payload = {
+                "window_cycles": self.window_cycles,
+                "points": self._points,
+                "merged_histograms": {
+                    name: hist.to_dict() for name, hist in sorted(merged.items())
+                },
+                "merged_histogram_summary": {
+                    name: hist.summary() for name, hist in sorted(merged.items())
+                },
+            }
+            self.metrics_path.write_text(json.dumps(payload, indent=1) + "\n")
+            written.append(self.metrics_path)
+        return written

@@ -1,0 +1,119 @@
+"""Windowed time series: what the scalar utilizations hide.
+
+``SimStats`` reports one channel-utilization number for a whole run; a
+burst that saturates the data bus for 5% of the run and idles the rest
+averages to the same figure as a steady trickle.  A :class:`Timeline`
+splits simulated time into fixed windows of ``window_cycles`` and keeps
+sparse per-window accumulators (sums and high-water marks), from which
+the exporter derives the paper-relevant series: per-window channel
+utilization, row-buffer hit rate, and prefetch-queue depth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+__all__ = ["Timeline"]
+
+#: default window width in CPU cycles.
+DEFAULT_WINDOW_CYCLES = 10_000
+
+
+class Timeline:
+    """Sparse per-window accumulators over simulated time."""
+
+    __slots__ = ("window_cycles", "_sums", "_highs")
+
+    def __init__(self, window_cycles: int = DEFAULT_WINDOW_CYCLES) -> None:
+        if window_cycles < 1:
+            raise ValueError(f"window_cycles must be >= 1, got {window_cycles}")
+        self.window_cycles = window_cycles
+        #: series name -> {window index -> accumulated amount}.
+        self._sums: Dict[str, Dict[int, float]] = {}
+        #: series name -> {window index -> high-water mark}.
+        self._highs: Dict[str, Dict[int, float]] = {}
+
+    def _window(self, ts: float) -> int:
+        return int(ts // self.window_cycles)
+
+    def add(self, series: str, ts: float, amount: float = 1.0) -> None:
+        """Accumulate ``amount`` into the window containing ``ts``."""
+        windows = self._sums.get(series)
+        if windows is None:
+            windows = self._sums[series] = {}
+        index = self._window(ts)
+        windows[index] = windows.get(index, 0.0) + amount
+
+    def high_water(self, series: str, ts: float, value: float) -> None:
+        """Raise the window's high-water mark for ``series`` to ``value``."""
+        windows = self._highs.get(series)
+        if windows is None:
+            windows = self._highs[series] = {}
+        index = self._window(ts)
+        if value > windows.get(index, float("-inf")):
+            windows[index] = value
+
+    # -- export -------------------------------------------------------------
+
+    def series(self, name: str) -> Dict[int, float]:
+        """Raw windows of one series (sums and high-water marks share
+        one namespace; sums win when both exist)."""
+        if name in self._sums:
+            return dict(self._sums[name])
+        return dict(self._highs.get(name, {}))
+
+    @staticmethod
+    def _pack(windows: Mapping[int, float]) -> Dict[str, List[float]]:
+        indices = sorted(windows)
+        return {
+            "window": [float(i) for i in indices],
+            "value": [windows[i] for i in indices],
+        }
+
+    def _ratio(
+        self, numerator: str, denominator: str
+    ) -> Optional[Dict[str, List[float]]]:
+        num = self._sums.get(numerator)
+        den = self._sums.get(denominator)
+        if den is None:
+            return None
+        indices = sorted(den)
+        return {
+            "window": [float(i) for i in indices],
+            "value": [
+                ((num or {}).get(i, 0.0) / den[i]) if den[i] else 0.0
+                for i in indices
+            ],
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """All raw series plus the derived ratio/utilization series.
+
+        Raw series keep their accumulator semantics (sums per window,
+        high-water marks per window); derived series are:
+
+        * ``data_channel_utilization`` — per-window data-bus busy time
+          divided by the window width;
+        * ``row_hit_rate`` — per-window DRAM row hits over accesses.
+        """
+        out: Dict[str, object] = {
+            "window_cycles": self.window_cycles,
+            "series": {},
+        }
+        series: Dict[str, object] = out["series"]
+        for name, windows in sorted(self._sums.items()):
+            series[name] = self._pack(windows)
+        for name, windows in sorted(self._highs.items()):
+            if name not in series:
+                series[name] = self._pack(windows)
+        busy = self._sums.get("data_bus_busy")
+        if busy is not None:
+            indices = sorted(busy)
+            series["data_channel_utilization"] = {
+                "window": [float(i) for i in indices],
+                "value": [min(1.0, busy[i] / self.window_cycles) for i in indices],
+            }
+        hit_rate = self._ratio("dram_row_hits", "dram_accesses")
+        if hit_rate is not None:
+            series["row_hit_rate"] = hit_rate
+        return out

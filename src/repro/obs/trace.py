@@ -1,0 +1,257 @@
+"""Chrome trace-event JSON output (Perfetto / ``chrome://tracing``).
+
+One :class:`TraceWriter` collects the events of one simulated point.
+Simulated CPU cycles map directly onto the trace timebase (one cycle ==
+one microsecond of trace time), so Perfetto's ruler reads in cycles.
+
+Track layout (thread ids within one point's process):
+
+=====  ==============  ==================================================
+tid    track           events
+=====  ==============  ==================================================
+1      demand          DRAM demand-fetch spans, L2 miss-latency lifecycle
+2      writeback       DRAM writeback spans
+3      prefetch        prefetch issue→fill spans, first-use / evicted
+4      dram            row-activate / row-hit / column-access / data-burst
+5      cache           L1/L2 hit / miss / fill / evict instants
+6      mshr            MSHR allocate→release spans and stalls
+=====  ==============  ==================================================
+
+Lifecycle spans use *async* begin/end events (``ph`` of ``b``/``e``
+with a per-request ``id``): DRAM requests pipeline, so overlapping
+spans on one track are normal and the synchronous ``B``/``E`` stack
+rules would be violated.  :func:`validate_trace` checks the schema the
+tests and the CI smoke step rely on: every event carries ``name`` /
+``ph`` / ``ts`` / ``pid`` / ``tid``, durations are non-negative, async
+begin/end balance per ``(pid, category, id)``, and synchronous
+``B``/``E`` nesting balances per ``(pid, tid)``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = ["CATEGORY", "TRACK_NAMES", "TraceWriter", "validate_trace"]
+
+#: category every simulator event is tagged with.
+CATEGORY = "repro"
+
+#: thread-id -> human-readable track name (see the module docstring).
+TRACK_NAMES = {
+    1: "demand",
+    2: "writeback",
+    3: "prefetch",
+    4: "dram",
+    5: "cache",
+    6: "mshr",
+}
+
+#: phases the validator accepts ("M" is track metadata).
+_KNOWN_PHASES = {"X", "i", "I", "B", "E", "b", "e", "M", "C"}
+
+
+class TraceWriter:
+    """Buffers Chrome trace events for one process (simulation point)."""
+
+    __slots__ = ("pid", "events", "_next_id")
+
+    def __init__(self, pid: int = 1, label: str = "sim") -> None:
+        self.pid = pid
+        self.events: List[Dict[str, object]] = []
+        self._next_id = 0
+        self.events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        for tid, name in TRACK_NAMES.items():
+            self.events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": name},
+                }
+            )
+
+    def next_id(self) -> int:
+        """Fresh async-span id, unique within this writer."""
+        self._next_id += 1
+        return self._next_id
+
+    # -- emission -----------------------------------------------------------
+
+    def instant(
+        self, name: str, ts: float, tid: int, args: Optional[Dict[str, object]] = None
+    ) -> None:
+        event: Dict[str, object] = {
+            "name": name,
+            "ph": "i",
+            "ts": ts,
+            "pid": self.pid,
+            "tid": tid,
+            "cat": CATEGORY,
+            "s": "t",  # instant scope: thread
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def begin(
+        self,
+        name: str,
+        ts: float,
+        tid: int,
+        span_id: int,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Open an async span (overlap-safe lifecycle event)."""
+        event: Dict[str, object] = {
+            "name": name,
+            "ph": "b",
+            "ts": ts,
+            "pid": self.pid,
+            "tid": tid,
+            "cat": CATEGORY,
+            "id": span_id,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def end(
+        self,
+        name: str,
+        ts: float,
+        tid: int,
+        span_id: int,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Close the async span opened with the same ``span_id``."""
+        event: Dict[str, object] = {
+            "name": name,
+            "ph": "e",
+            "ts": ts,
+            "pid": self.pid,
+            "tid": tid,
+            "cat": CATEGORY,
+            "id": span_id,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def complete(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        tid: int,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Emit a self-contained span (``ph: X``) of ``dur`` cycles."""
+        event: Dict[str, object] = {
+            "name": name,
+            "ph": "X",
+            "ts": ts,
+            "dur": dur,
+            "pid": self.pid,
+            "tid": tid,
+            "cat": CATEGORY,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    # -- output -------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"traceEvents": self.events, "displayTimeUnit": "ms"}
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict()) + "\n")
+        return path
+
+
+def validate_trace(payload: object) -> List[str]:
+    """Schema check for a Chrome trace JSON payload.
+
+    Accepts either the object form (``{"traceEvents": [...]}``) or a
+    bare event list; returns human-readable problem descriptions
+    (empty when the trace is schema-clean).
+    """
+    problems: List[str] = []
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            return ["top-level object lacks a 'traceEvents' list"]
+    elif isinstance(payload, list):
+        events = payload
+    else:
+        return [f"payload must be a dict or list, got {type(payload).__name__}"]
+
+    async_open: Dict[Tuple[object, object, object], int] = {}
+    sync_depth: Dict[Tuple[object, object], int] = {}
+    for position, event in enumerate(events):
+        where = f"event {position}"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing required key {key!r}")
+        ph = event.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative number, got {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X event needs a non-negative dur, got {dur!r}")
+        elif ph in ("b", "e"):
+            if "id" not in event:
+                problems.append(f"{where}: async {ph!r} event needs an id")
+                continue
+            key = (event.get("pid"), event.get("cat"), event.get("id"))
+            if ph == "b":
+                async_open[key] = async_open.get(key, 0) + 1
+            else:
+                depth = async_open.get(key, 0)
+                if depth <= 0:
+                    problems.append(f"{where}: async end without a matching begin (id={event['id']!r})")
+                else:
+                    async_open[key] = depth - 1
+        elif ph in ("B", "E"):
+            key = (event.get("pid"), event.get("tid"))
+            if ph == "B":
+                sync_depth[key] = sync_depth.get(key, 0) + 1
+            else:
+                depth = sync_depth.get(key, 0)
+                if depth <= 0:
+                    problems.append(f"{where}: E event without a matching B on its track")
+                else:
+                    sync_depth[key] = depth - 1
+
+    for (pid, cat, span_id), depth in sorted(async_open.items(), key=str):
+        if depth:
+            problems.append(
+                f"async span id={span_id!r} (pid={pid!r}, cat={cat!r}) "
+                f"left {depth} begin(s) unclosed"
+            )
+    for (pid, tid), depth in sorted(sync_depth.items(), key=str):
+        if depth:
+            problems.append(f"track pid={pid!r} tid={tid!r} left {depth} B event(s) unclosed")
+    return problems

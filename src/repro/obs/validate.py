@@ -1,0 +1,108 @@
+"""Trace/metrics file validation: ``python -m repro.obs.validate``.
+
+The CI observability smoke step records a trace and a metrics file for
+a tiny run and pipes them through this checker: the trace must parse as
+Chrome trace JSON, pass the :func:`repro.obs.trace.validate_trace`
+schema check, and (with ``--expect-tracks``) actually carry events on
+the named tracks; the metrics file must hold per-point histograms whose
+merged aggregate round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.obs.hist import LatencyHistogram
+from repro.obs.trace import TRACK_NAMES, validate_trace
+
+__all__ = ["main"]
+
+
+def _check_trace(path: Path, expect_tracks: List[str]) -> List[str]:
+    problems: List[str] = []
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        return [f"{path}: cannot load trace: {error}"]
+    problems.extend(f"{path}: {p}" for p in validate_trace(payload))
+    events = payload.get("traceEvents", payload) if isinstance(payload, dict) else payload
+    if not isinstance(events, list) or not events:
+        problems.append(f"{path}: trace contains no events")
+        return problems
+    if expect_tracks:
+        tids = {name: tid for tid, name in TRACK_NAMES.items()}
+        for track in expect_tracks:
+            tid = tids.get(track)
+            if tid is None:
+                problems.append(f"{path}: unknown track name {track!r}")
+                continue
+            if not any(
+                e.get("tid") == tid and e.get("ph") != "M"
+                for e in events
+                if isinstance(e, dict)
+            ):
+                problems.append(f"{path}: no events on the {track!r} track")
+    return problems
+
+
+def _check_metrics(path: Path) -> List[str]:
+    problems: List[str] = []
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        return [f"{path}: cannot load metrics: {error}"]
+    if not isinstance(payload, dict):
+        return [f"{path}: metrics payload must be an object"]
+    points = payload.get("points")
+    if not isinstance(points, list) or not points:
+        problems.append(f"{path}: metrics file has no points")
+        return problems
+    for name, data in payload.get("merged_histograms", {}).items():
+        hist = LatencyHistogram.from_dict(data)
+        if hist.to_dict() != data:
+            problems.append(f"{path}: histogram {name!r} does not round-trip exactly")
+        if hist.total != sum(hist.counts.values()):
+            problems.append(f"{path}: histogram {name!r} total disagrees with its buckets")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="Validate recorded trace/metrics files (CI smoke check).",
+    )
+    parser.add_argument("trace", help="Chrome trace-event JSON file to validate")
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="also validate a metrics JSON file written by --metrics",
+    )
+    parser.add_argument(
+        "--expect-tracks",
+        default="",
+        metavar="A,B,...",
+        help="comma-separated track names that must carry at least one event "
+        "(e.g. demand,writeback,prefetch)",
+    )
+    args = parser.parse_args(argv)
+
+    expect = [t.strip() for t in args.expect_tracks.split(",") if t.strip()]
+    problems = _check_trace(Path(args.trace), expect)
+    if args.metrics:
+        problems.extend(_check_metrics(Path(args.metrics)))
+    if problems:
+        for problem in problems:
+            print(f"obs-validate: {problem}", file=sys.stderr)
+        return 1
+    checked = args.trace if not args.metrics else f"{args.trace} and {args.metrics}"
+    print(f"obs-validate: {checked} schema-clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,7 @@ engine.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.config import PrefetchConfig
 from repro.core.stats import SimStats
@@ -23,6 +23,9 @@ from repro.dram.channel import LogicalChannel
 from repro.dram.mapping import AddressMapping
 from repro.prefetch.queue import PrefetchQueue
 from repro.prefetch.region import RegionEntry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import Observer
 
 __all__ = ["RegionPrefetcher", "THROTTLE_PROBE_PERIOD"]
 
@@ -35,12 +38,19 @@ ResidencyProbe = Callable[[int], bool]
 class RegionPrefetcher:
     """Region prefetcher with scheduling hooks for the memory controller."""
 
-    def __init__(self, config: PrefetchConfig, block_bytes: int, stats: SimStats) -> None:
+    def __init__(
+        self,
+        config: PrefetchConfig,
+        block_bytes: int,
+        stats: SimStats,
+        obs: "Optional[Observer]" = None,
+    ) -> None:
         if config.region_bytes < block_bytes:
             raise ValueError("region must be at least one block")
         self.config = config
         self.block_bytes = block_bytes
         self.stats = stats
+        self._obs = obs
         self.queue = PrefetchQueue(config.queue_entries, config.policy)
         self._region_mask = config.region_bytes - 1
         # throttle bookkeeping (Section 4.4: on-line accuracy counters).
@@ -50,13 +60,15 @@ class RegionPrefetcher:
 
     # -- demand-side hooks ----------------------------------------------------
 
-    def on_demand_miss(self, block_addr: int, pc: int = 0) -> None:
+    def on_demand_miss(self, block_addr: int, pc: int = 0, now: float = 0.0) -> None:
         """A demand L2 miss occurred; enqueue or update its region.
 
         ``pc`` is accepted for interface parity with PC-indexed engines
-        (the region engine is address-based and ignores it).
+        (the region engine is address-based and ignores it); ``now`` is
+        the miss time, used only to timestamp trace events.
         """
         _ = pc
+        obs = self._obs
         entry = self.queue.find(block_addr)
         if entry is not None:
             entry.mark_block(block_addr)
@@ -68,10 +80,18 @@ class RegionPrefetcher:
                 # retirement rule).
                 self.queue.retire(entry)
                 self.stats.prefetch_regions_completed += 1
+                if obs is not None:
+                    obs.instant(
+                        "prefetch-region-retire", now, obs.PREFETCH, {"base": entry.base}
+                    )
                 return
             if self.config.policy == "lifo" and self.config.promote_on_miss:
                 self.queue.promote(entry)
                 self.stats.prefetch_regions_promoted += 1
+                if obs is not None:
+                    obs.instant(
+                        "prefetch-region-promote", now, obs.PREFETCH, {"base": entry.base}
+                    )
             return
         base = block_addr & ~self._region_mask
         entry = RegionEntry(base, self.config.region_bytes, self.block_bytes, block_addr)
@@ -79,6 +99,12 @@ class RegionPrefetcher:
         self.stats.prefetch_regions_enqueued += 1
         if victim is not None:
             self.stats.prefetch_regions_replaced += 1
+        if obs is not None:
+            obs.instant("prefetch-region-enqueue", now, obs.PREFETCH, {"base": base})
+            if victim is not None:
+                obs.instant(
+                    "prefetch-region-replace", now, obs.PREFETCH, {"base": victim.base}
+                )
 
     def record_outcome(self, useful: bool) -> None:
         """Feedback from the L2: a prefetched block was referenced (useful)
@@ -110,11 +136,16 @@ class RegionPrefetcher:
     def has_work(self) -> bool:
         return len(self.queue) > 0
 
+    def queue_depth(self) -> int:
+        """Regions currently queued (observability)."""
+        return len(self.queue)
+
     def select(
         self,
         channel: LogicalChannel,
         mapping: AddressMapping,
         resident: ResidencyProbe,
+        now: float = 0.0,
     ) -> Optional[int]:
         """Choose, mark, and return the next block address to prefetch.
 
@@ -122,6 +153,7 @@ class RegionPrefetcher:
         way into) the L2; such blocks are marked in their region bitmap
         and skipped.  Exhausted regions are retired.  Returns None when
         no prefetch candidate exists (or the throttle is engaged).
+        ``now`` only timestamps trace events.
         """
         if self.throttled:
             # Let an occasional probe through so the accuracy estimate
@@ -132,6 +164,7 @@ class RegionPrefetcher:
             if self._throttle_skips % THROTTLE_PROBE_PERIOD:
                 self.stats.prefetches_throttled += 1
                 return None
+        obs = self._obs
         first: Optional[tuple] = None
         chosen: Optional[tuple] = None
         for entry in list(self.queue):
@@ -139,6 +172,10 @@ class RegionPrefetcher:
             if addr is None:
                 self.queue.retire(entry)
                 self.stats.prefetch_regions_completed += 1
+                if obs is not None:
+                    obs.instant(
+                        "prefetch-region-retire", now, obs.PREFETCH, {"base": entry.base}
+                    )
                 continue
             if first is None:
                 first = (entry, addr)
@@ -157,6 +194,10 @@ class RegionPrefetcher:
         if entry.exhausted:
             self.queue.retire(entry)
             self.stats.prefetch_regions_completed += 1
+            if obs is not None:
+                obs.instant(
+                    "prefetch-region-retire", now, obs.PREFETCH, {"base": entry.base}
+                )
         return addr
 
     def _candidate(self, entry: RegionEntry, resident: ResidencyProbe) -> Optional[int]:

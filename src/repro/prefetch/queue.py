@@ -24,7 +24,7 @@ __all__ = ["PrefetchQueue"]
 class PrefetchQueue:
     """Priority-ordered bounded list of :class:`RegionEntry`."""
 
-    __slots__ = ("capacity", "policy", "_entries")
+    __slots__ = ("capacity", "policy", "_entries", "peak_depth")
 
     def __init__(self, capacity: int, policy: str = "lifo") -> None:
         if capacity < 1:
@@ -34,6 +34,8 @@ class PrefetchQueue:
         self.capacity = capacity
         self.policy = policy
         self._entries: List[RegionEntry] = []
+        #: most entries ever simultaneously queued (observability).
+        self.peak_depth = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -65,6 +67,8 @@ class PrefetchQueue:
             self._entries.append(entry)
         else:
             self._entries.insert(0, entry)
+        if len(self._entries) > self.peak_depth:
+            self.peak_depth = len(self._entries)
         return victim
 
     def promote(self, entry: RegionEntry) -> None:

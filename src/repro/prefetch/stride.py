@@ -19,11 +19,14 @@ drive either.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Callable, Deque, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Optional
 
 from repro.core.stats import SimStats
 from repro.dram.channel import LogicalChannel
 from repro.dram.mapping import AddressMapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import Observer
 
 __all__ = ["StrideEntry", "StridePrefetcher"]
 
@@ -65,6 +68,7 @@ class StridePrefetcher:
         table_entries: int = 64,
         degree: int = 4,
         queue_depth: int = 32,
+        obs: "Optional[Observer]" = None,
     ) -> None:
         if degree < 1:
             raise ValueError("degree must be >= 1")
@@ -72,13 +76,17 @@ class StridePrefetcher:
         self.stats = stats
         self.table_entries = table_entries
         self.degree = degree
+        self._obs = obs
         self._table: "OrderedDict[int, StrideEntry]" = OrderedDict()
         self._queue: Deque[int] = deque(maxlen=queue_depth)
 
     # -- demand-side hooks ----------------------------------------------------
 
-    def on_demand_miss(self, block_addr: int, pc: int = 0) -> None:
-        """Train on a miss and enqueue predicted future blocks."""
+    def on_demand_miss(self, block_addr: int, pc: int = 0, now: float = 0.0) -> None:
+        """Train on a miss and enqueue predicted future blocks.
+
+        ``now`` is the miss time, used only to timestamp trace events.
+        """
         # A block the demand stream has already reached is no longer
         # worth prefetching.
         block = block_addr & ~(self.block_bytes - 1)
@@ -101,6 +109,14 @@ class StridePrefetcher:
                 if block not in self._queue:
                     self._queue.append(block)
         self.stats.prefetch_regions_enqueued += 1
+        obs = self._obs
+        if obs is not None:
+            obs.instant(
+                "prefetch-stride-enqueue",
+                now,
+                obs.PREFETCH,
+                {"pc": pc, "stride": entry.stride},
+            )
 
     @property
     def throttled(self) -> bool:
@@ -114,14 +130,19 @@ class StridePrefetcher:
     def has_work(self) -> bool:
         return bool(self._queue)
 
+    def queue_depth(self) -> int:
+        """Blocks currently queued (observability)."""
+        return len(self._queue)
+
     def select(
         self,
         channel: LogicalChannel,
         mapping: AddressMapping,
         resident: ResidencyProbe,
+        now: float = 0.0,
     ) -> Optional[int]:
         """Oldest queued prediction not already resident."""
-        _ = channel, mapping  # stride queue is FIFO; no bank awareness
+        _ = channel, mapping, now  # stride queue is FIFO; no bank awareness
         while self._queue:
             block = self._queue.popleft()
             if not resident(block):

@@ -60,21 +60,24 @@ import functools
 import hashlib
 import json
 import os
-import sys
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro import __version__
 from repro.core.config import SystemConfig
 from repro.core.stats import SimStats
+from repro.obs.log import JsonlSink, get_logger
 from repro.runner import faults
 from repro.runner.cache import ResultCache
 from repro.runner.worker import execute_point
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import ObsSession
 
 __all__ = [
     "RESULT_VERSION",
@@ -92,6 +95,10 @@ __all__ = [
 #: bump to invalidate every previously cached result (e.g. after a
 #: change to the simulator's timing behaviour).
 RESULT_VERSION = 1
+
+#: leveled stderr logger (threshold from ``REPRO_LOG_LEVEL``); message
+#: text is identical to the former ad-hoc ``print(..., file=stderr)``.
+_log = get_logger("repro.runner")
 
 #: failure taxonomy used by :class:`FailureRecord`.
 FAILURE_KINDS = ("timeout", "crash", "oom", "cache-io")
@@ -270,6 +277,22 @@ class Runner:
     ``keep_going``
         on permanent point failure, return :func:`placeholder_stats`
         instead of raising :class:`PointFailureError`.
+
+    Telemetry knobs (see :mod:`repro.obs`):
+
+    ``run_log``
+        a :class:`~repro.obs.log.JsonlSink` receiving one structured
+        record per lifecycle event — ``point-started`` /
+        ``point-completed`` / ``point-retried`` / ``point-timed-out``
+        / ``point-failed`` — each carrying the point's label, cache
+        key, and zero-based attempt;
+    ``observe``
+        an :class:`~repro.obs.observer.ObsSession` collecting a trace
+        and/or metrics per point.  Observed execution is forced inline
+        (an Observer cannot cross the process boundary) and skips
+        on-disk cache *reads* (a cache hit would yield an empty trace)
+        while still writing fresh results back; statistics are
+        unaffected either way.
     """
 
     #: how many times a broken process pool is rebuilt before the
@@ -285,6 +308,8 @@ class Runner:
         max_retries: Optional[int] = None,
         retry_backoff: Optional[float] = None,
         keep_going: bool = False,
+        run_log: Optional[JsonlSink] = None,
+        observe: "Optional[ObsSession]" = None,
     ) -> None:
         if jobs is None:
             jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
@@ -311,6 +336,8 @@ class Runner:
                 retry_backoff = 0.25
         self.retry_backoff = max(0.0, retry_backoff)
         self.keep_going = keep_going
+        self.run_log = run_log
+        self.observe = observe
         #: executed simulations, in completion order.
         self.job_log: List[JobResult] = []
         #: every failure event, transient and fatal, in observation order.
@@ -348,7 +375,10 @@ class Runner:
             if key in self._memo or key in scheduled:
                 self.reused += 1
                 continue
-            if self.cache is not None:
+            # Observed runs skip cache *reads*: a disk hit would come
+            # back with an empty trace.  Writes still happen in
+            # _record, and the stats are identical either way.
+            if self.cache is not None and self.observe is None:
                 payload = self.cache.get(key)
                 if payload is not None and "stats" in payload:
                     self._memo[key] = payload["stats"]
@@ -371,13 +401,19 @@ class Runner:
         self._batch_done = 0
         self._batch_total = len(jobs)
         fatal: List[FailureRecord] = []
-        if self.jobs > 1 and len(jobs) > 1 and not self._pool_unusable:
+        use_pool = (
+            self.jobs > 1
+            and len(jobs) > 1
+            and not self._pool_unusable
+            # an Observer cannot cross the process boundary.
+            and self.observe is None
+        )
+        if use_pool:
             jobs = self._run_pooled(jobs, fatal)
             if jobs:
-                print(
+                _log.warning(
                     f"[runner] process pool unusable; finishing "
-                    f"{len(jobs)} point(s) inline",
-                    file=sys.stderr,
+                    f"{len(jobs)} point(s) inline"
                 )
         self._run_inline(jobs, fatal)
         if fatal and not self.keep_going:
@@ -411,6 +447,7 @@ class Runner:
                 # queued behind a clogged worker.
                 while ready and len(running) < workers:
                     job = ready.popleft()
+                    self._log_event("point-started", job)
                     future = pool.submit(execute_point, job.point, job.attempt)
                     deadline = (now + self.timeout) if self.timeout else None
                     running[future] = (job, deadline)
@@ -474,10 +511,7 @@ class Runner:
                         ready.clear()
                         return leftover
                     self.pool_rebuilds += 1
-                    print(
-                        "[runner] worker pool broke; rebuilding it once",
-                        file=sys.stderr,
-                    )
+                    _log.warning("[runner] worker pool broke; rebuilding it once")
                     pool = ProcessPoolExecutor(max_workers=workers)
                     continue
                 now = time.monotonic()
@@ -536,8 +570,21 @@ class Runner:
             delay = job.eligible - time.monotonic()
             if delay > 0:
                 time.sleep(delay)
+            self._log_event("point-started", job)
+            # A fresh Observer per attempt: a failed attempt's partial
+            # events are dropped, never committed to the session.
+            obs = (
+                self.observe.begin_point(job.point.label())
+                if self.observe is not None
+                else None
+            )
             try:
-                stats_dict, wall = execute_point(job.point, job.attempt)
+                # ``obs`` is passed only when observing so test doubles
+                # with the historical two-argument signature keep working.
+                if obs is not None:
+                    stats_dict, wall = execute_point(job.point, job.attempt, obs=obs)
+                else:
+                    stats_dict, wall = execute_point(job.point, job.attempt)
             except KeyboardInterrupt:
                 raise
             except MemoryError as exc:
@@ -547,7 +594,20 @@ class Runner:
                     job, "crash", f"{type(exc).__name__}: {exc}", queue, fatal
                 )
             else:
+                if obs is not None:
+                    self.observe.commit_point(obs, key=job.key)
                 self._record(job, stats_dict, wall)
+
+    def _log_event(self, event: str, job: "_Job", **fields: object) -> None:
+        """Append one structured record to the run log, if one is wired."""
+        if self.run_log is not None:
+            self.run_log.event(
+                event,
+                label=job.point.label(),
+                key=job.key,
+                attempt=job.attempt,
+                **fields,
+            )
 
     def _fail(self, job, kind, message, requeue, fatal) -> None:
         """Record a failed attempt; retry it or give the point up."""
@@ -561,12 +621,14 @@ class Runner:
             fatal=is_fatal,
         )
         self.failures.append(record)
+        if kind == "timeout":
+            self._log_event("point-timed-out", job, message=message)
         if is_fatal:
             fatal.append(record)
-            print(
+            self._log_event("point-failed", job, kind=kind, message=message)
+            _log.error(
                 f"[runner] FAILED {job.point.label()}: {kind} after "
-                f"{job.attempt + 1} attempt(s) — {message}",
-                file=sys.stderr,
+                f"{job.attempt + 1} attempt(s) — {message}"
             )
             return
         self.retries += 1
@@ -575,11 +637,11 @@ class Runner:
             job.key, job.attempt, self.retry_backoff
         )
         requeue.append(job)
+        self._log_event("point-retried", job, kind=kind, message=message)
         if self.progress:
-            print(
+            _log.info(
                 f"[runner] retrying {job.point.label()} "
-                f"(attempt {job.attempt + 1}, {kind}: {message})",
-                file=sys.stderr,
+                f"(attempt {job.attempt + 1}, {kind}: {message})"
             )
 
     def _record(self, job: _Job, stats_dict: Dict[str, object], wall: float) -> None:
@@ -609,12 +671,11 @@ class Runner:
             except OSError as exc:
                 self._disable_cache(job, exc)
         self._batch_done += 1
+        self._log_event("point-completed", job, duration=round(wall, 6))
         if self.progress:
-            print(
+            _log.info(
                 f"[runner] {self._batch_done}/{self._batch_total}"
-                f" {point.label()} {wall:.2f}s",
-                file=sys.stderr,
-                flush=True,
+                f" {point.label()} {wall:.2f}s"
             )
 
     def _disable_cache(self, job: _Job, error: OSError) -> None:
@@ -631,10 +692,9 @@ class Runner:
                 fatal=False,
             )
         )
-        print(
+        _log.warning(
             f"[runner] result cache disabled after write error: {error} "
-            "(simulation continues without persistence)",
-            file=sys.stderr,
+            "(simulation continues without persistence)"
         )
 
     # -- reporting ---------------------------------------------------------

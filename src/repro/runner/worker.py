@@ -48,7 +48,7 @@ def get_traces(
     return (warm if len(warm) else None), main
 
 
-def execute_point(point, attempt: int = 0) -> Tuple[Dict[str, object], float]:
+def execute_point(point, attempt: int = 0, obs=None) -> Tuple[Dict[str, object], float]:
     """Simulate one :class:`~repro.runner.runner.SimPoint` from scratch.
 
     Returns ``(stats_dict, wall_seconds)``.  Fully deterministic: the
@@ -59,13 +59,19 @@ def execute_point(point, attempt: int = 0) -> Tuple[Dict[str, object], float]:
     it does not influence the simulation (results must be identical on
     every attempt) and exists only so the fault-injection harness can
     key planned failures by attempt number.
+
+    ``obs`` is an optional :class:`~repro.obs.observer.Observer`
+    collecting trace events and latency histograms; observability never
+    changes the statistics (the A/B golden test asserts it), so cached
+    and observed runs stay interchangeable.  Observed execution is
+    inline-only — an Observer does not cross the process boundary.
     """
     faults.maybe_inject(point.label(), attempt)
     started = time.perf_counter()
     warm, main = get_traces(
         point.benchmark, point.memory_refs, point.seed, point.config.l2.size_bytes
     )
-    system = System(point.config)
+    system = System(point.config, obs=obs)
     if warm is not None:
         system.warmup(warm)
     stats = system.run(main)

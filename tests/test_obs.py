@@ -1,0 +1,234 @@
+"""Unit tests for the observability primitives (repro.obs)."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    JsonlSink,
+    LatencyHistogram,
+    Timeline,
+    get_logger,
+    merge_histograms,
+)
+from repro.obs.hist import bucket_index, bucket_upper_bound
+from repro.obs.log import LEVELS, log_threshold
+
+
+class TestBucketIndex:
+    def test_sub_one_values_share_bucket_zero(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(-5.0) == 0
+        assert bucket_index(0.999) == 0
+
+    def test_exponent_is_the_bucket(self):
+        assert bucket_index(1.0) == 1
+        assert bucket_index(1.5) == 1
+        assert bucket_index(2.0) == 2
+        assert bucket_index(3.99) == 2
+        assert bucket_index(4.0) == 3
+
+    def test_exact_powers_of_two_open_their_bucket(self):
+        for e in range(1, 20):
+            v = float(2 ** e)
+            assert bucket_index(v) == e + 1
+            assert bucket_index(v - 0.5) == e  # just below the edge
+
+    def test_bucket_bounds_contain_their_values(self):
+        for v in (0.1, 1.0, 1.7, 2.0, 100.0, 12345.6):
+            index = bucket_index(v)
+            assert v < bucket_upper_bound(index)
+            if index > 0:
+                assert v >= bucket_upper_bound(index - 1) or index == 1
+
+    def test_upper_bound(self):
+        assert bucket_upper_bound(0) == 1.0
+        assert bucket_upper_bound(4) == 16.0
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert hist.total == 0
+        assert hist.mean == 0.0
+        assert hist.percentile(0.5) == 0.0
+        assert hist.p99 == 0.0
+
+    def test_record_updates_all_accumulators(self):
+        hist = LatencyHistogram()
+        hist.record_many([1.0, 3.0, 100.0])
+        assert hist.total == 3
+        assert hist.sum == 104.0
+        assert hist.min == 1.0
+        assert hist.max == 100.0
+        assert hist.mean == pytest.approx(104.0 / 3)
+        assert hist.counts == {1: 1, 2: 1, 7: 1}
+
+    def test_percentiles_are_bucket_upper_bounds(self):
+        hist = LatencyHistogram()
+        hist.record_many([1.0] * 50 + [10.0] * 50)
+        assert hist.p50 == 2.0  # bucket of 1.0 is [1, 2)
+        assert hist.p95 == 16.0  # bucket of 10.0 is [8, 16)
+        assert hist.p99 == 16.0
+        assert hist.percentile(0.0) == 0.0 or hist.percentile(0.0) <= 2.0
+
+    def test_percentile_rejects_out_of_range(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+        with pytest.raises(ValueError):
+            hist.percentile(-0.1)
+
+    def test_merge_is_exact(self):
+        a = LatencyHistogram()
+        b = LatencyHistogram()
+        a.record_many([1.0, 2.0, 1000.0])
+        b.record_many([0.5, 64.0])
+        a.merge(b)
+        assert a.total == 5
+        assert a.sum == pytest.approx(1067.5)
+        assert a.min == 0.5
+        assert a.max == 1000.0
+        reference = LatencyHistogram()
+        reference.record_many([1.0, 2.0, 1000.0, 0.5, 64.0])
+        assert a.counts == reference.counts
+
+    def test_round_trip_is_exact(self):
+        hist = LatencyHistogram()
+        hist.record_many([0.0, 1.0, 2.5, 17.0, 1e6])
+        data = json.loads(json.dumps(hist.to_dict()))
+        back = LatencyHistogram.from_dict(data)
+        assert back.counts == hist.counts
+        assert back.total == hist.total
+        assert back.sum == hist.sum
+        assert back.min == hist.min
+        assert back.max == hist.max
+        assert back.to_dict() == hist.to_dict()
+
+    def test_empty_round_trip_has_no_infinities(self):
+        data = LatencyHistogram().to_dict()
+        assert "min" not in data and "max" not in data
+        json.dumps(data)  # must be JSON-serializable
+        back = LatencyHistogram.from_dict(data)
+        assert back.total == 0
+        assert back.min == math.inf
+
+    def test_summary_keys(self):
+        hist = LatencyHistogram()
+        hist.record(42.0)
+        summary = hist.summary()
+        assert set(summary) == {"total", "mean", "p50", "p95", "p99", "min", "max"}
+        assert summary["total"] == 1
+        assert summary["min"] == summary["max"] == 42.0
+
+
+class TestMergeHistograms:
+    def test_folds_per_point_dicts(self):
+        a = LatencyHistogram()
+        a.record_many([1.0, 2.0])
+        b = LatencyHistogram()
+        b.record_many([2.0, 500.0])
+        merged = merge_histograms(
+            [{"x": a.to_dict()}, {"x": b.to_dict(), "y": a.to_dict()}]
+        )
+        assert set(merged) == {"x", "y"}
+        assert merged["x"].total == 4
+        assert merged["x"].max == 500.0
+        assert merged["y"].total == 2
+
+
+class TestTimeline:
+    def test_add_accumulates_per_window(self):
+        tl = Timeline(window_cycles=10_000)
+        tl.add("hits", 0.0)
+        tl.add("hits", 9_999.0)
+        tl.add("hits", 10_000.0, amount=2.5)
+        assert tl.series("hits") == {0: 2.0, 1: 2.5}
+
+    def test_high_water_keeps_the_max(self):
+        tl = Timeline(window_cycles=100)
+        tl.high_water("depth", 5.0, 3.0)
+        tl.high_water("depth", 50.0, 7.0)
+        tl.high_water("depth", 60.0, 2.0)
+        tl.high_water("depth", 150.0, 1.0)
+        assert tl.series("depth") == {0: 7.0, 1: 1.0}
+
+    def test_derived_utilization_and_hit_rate(self):
+        tl = Timeline(window_cycles=1_000)
+        tl.add("data_bus_busy", 10.0, 500.0)
+        tl.add("dram_accesses", 10.0)
+        tl.add("dram_accesses", 20.0)
+        tl.add("dram_row_hits", 20.0)
+        out = tl.to_dict()
+        util = out["series"]["data_channel_utilization"]
+        assert util["window"] == [0.0]
+        assert util["value"] == [0.5]
+        rate = out["series"]["row_hit_rate"]
+        assert rate["value"] == [0.5]
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            Timeline(window_cycles=0)
+
+
+class TestLogger:
+    def test_default_level_is_info(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_LOG_LEVEL", raising=False)
+        log = get_logger("repro.test")
+        log.debug("quiet")
+        log.info("loud")
+        err = capsys.readouterr().err
+        assert "loud" in err
+        assert "quiet" not in err
+
+    def test_threshold_read_per_call(self, monkeypatch, capsys):
+        log = get_logger("repro.test")
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "error")
+        log.warning("suppressed")
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "debug")
+        log.debug("now visible")
+        err = capsys.readouterr().err
+        assert "suppressed" not in err
+        assert "now visible" in err
+
+    def test_unknown_level_falls_back_to_info(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "nonsense")
+        assert log_threshold() == LEVELS["info"]
+
+    def test_message_text_is_verbatim(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_LOG_LEVEL", raising=False)
+        get_logger("repro.runner").error("[runner] FAILED x: boom")
+        assert capsys.readouterr().err == "[runner] FAILED x: boom\n"
+
+
+class TestJsonlSink:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            sink.event("point-started", label="a", attempt=0)
+            sink.event("point-completed", label="a", attempt=0, duration=1.25)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["event"] == "point-started"
+        assert first["label"] == "a"
+        assert isinstance(first["ts"], float)
+        assert second["event"] == "point-completed"
+        assert second["duration"] == 1.25
+
+    def test_closed_sink_drops_events(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path)
+        sink.event("one")
+        sink.close()
+        sink.event("two")  # must not raise
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_accepts_open_stream(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            sink = JsonlSink(handle)
+            sink.event("via-stream")
+            sink.close()
+        assert json.loads(path.read_text())["event"] == "via-stream"

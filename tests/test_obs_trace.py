@@ -1,0 +1,217 @@
+"""Trace schema tests: the validator, and a recorded simulation trace."""
+
+import json
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.obs import Observer, ObsSession, TraceWriter, validate_trace
+from repro.obs.trace import TRACK_NAMES
+from repro.obs.validate import main as validate_main
+from repro.workloads import build_trace
+
+
+class TestValidator:
+    def test_clean_writer_output_passes(self):
+        writer = TraceWriter(pid=7, label="point")
+        writer.instant("l2-miss", 10.0, 5, {"addr": 64})
+        span = writer.next_id()
+        writer.begin("dram-demand", 10.0, 1, span)
+        writer.end("dram-demand", 50.0, 1, span)
+        writer.complete("data-burst", 42.0, 8.0, 4)
+        assert validate_trace(writer.to_dict()) == []
+
+    def test_accepts_bare_event_list(self):
+        writer = TraceWriter()
+        writer.instant("x", 0.0, 4)
+        assert validate_trace(writer.events) == []
+
+    def test_rejects_non_payloads(self):
+        assert validate_trace(42)
+        assert validate_trace({"notTraceEvents": []})
+        assert validate_trace([1, 2, 3])
+
+    def test_missing_required_keys(self):
+        problems = validate_trace([{"ph": "i", "ts": 0.0, "pid": 1}])
+        assert any("missing required key" in p for p in problems)
+
+    def test_unknown_phase(self):
+        event = {"name": "x", "ph": "Z", "ts": 0.0, "pid": 1, "tid": 1}
+        assert any("unknown phase" in p for p in validate_trace([event]))
+
+    def test_negative_ts(self):
+        event = {"name": "x", "ph": "i", "ts": -1.0, "pid": 1, "tid": 1}
+        assert any("non-negative" in p for p in validate_trace([event]))
+
+    def test_complete_event_needs_dur(self):
+        event = {"name": "x", "ph": "X", "ts": 0.0, "pid": 1, "tid": 1}
+        assert any("dur" in p for p in validate_trace([event]))
+
+    def test_async_end_without_begin(self):
+        event = {"name": "x", "ph": "e", "ts": 0.0, "pid": 1, "tid": 1,
+                 "cat": "repro", "id": 9}
+        assert any("without a matching begin" in p for p in validate_trace([event]))
+
+    def test_unclosed_async_begin(self):
+        event = {"name": "x", "ph": "b", "ts": 0.0, "pid": 1, "tid": 1,
+                 "cat": "repro", "id": 9}
+        assert any("unclosed" in p for p in validate_trace([event]))
+
+    def test_sync_stack_balance(self):
+        base = {"name": "x", "ts": 0.0, "pid": 1, "tid": 1}
+        assert any(
+            "E event" in p for p in validate_trace([{**base, "ph": "E"}])
+        )
+        assert any(
+            "unclosed" in p for p in validate_trace([{**base, "ph": "B"}])
+        )
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    """One tiny prefetch-enabled simulation recorded through an Observer.
+
+    Warmed up like the golden point: the measured window then has L2
+    capacity pressure, so writebacks (and their track) actually occur.
+    """
+    from repro.core.system import System
+    from repro.workloads.registry import build_warmup_trace
+
+    obs = Observer(label="swim-prefetch", pid=1)
+    config = SystemConfig().with_prefetch(enabled=True)
+    system = System(config, obs=obs)
+    system.warmup(build_warmup_trace("swim", l2_bytes=config.l2.size_bytes))
+    system.run(build_trace("swim", 8_000))
+    return obs
+
+
+class TestRecordedTrace:
+    def test_schema_clean(self, recorded):
+        assert validate_trace(recorded.trace.to_dict()) == []
+
+    def test_json_serializable(self, recorded):
+        json.dumps(recorded.trace.to_dict())
+
+    def test_demand_writeback_prefetch_tracks_populated(self, recorded):
+        tids = {name: tid for tid, name in TRACK_NAMES.items()}
+        populated = {
+            e["tid"] for e in recorded.trace.events if e.get("ph") != "M"
+        }
+        for track in ("demand", "writeback", "prefetch", "dram", "cache", "mshr"):
+            assert tids[track] in populated, f"no events on the {track} track"
+
+    def test_prefetch_lifecycle_names_present(self, recorded):
+        names = {e["name"] for e in recorded.trace.events}
+        # issue -> fill -> first use; swim's region prefetches are
+        # mostly useful at this size (golden stats: 401/440).
+        assert "prefetch-inflight" in names
+        assert "prefetch-fill" in names
+        assert "prefetch-first-use" in names
+        assert "prefetch-region-enqueue" in names
+
+    def test_dram_lifecycle_names_present(self, recorded):
+        names = {e["name"] for e in recorded.trace.events}
+        for expected in ("dram-enqueue", "row-activate", "row-hit",
+                         "column-access", "data-burst", "l2-miss"):
+            assert expected in names, f"missing {expected}"
+
+    def test_histograms_recorded(self, recorded):
+        assert recorded.hists["l2_miss_latency.demand"].total > 0
+        assert recorded.hists["dram_queue_wait.demand"].total > 0
+        assert recorded.hists["dram_service.prefetch"].total > 0
+
+    def test_timeline_recorded(self, recorded):
+        series = recorded.timeline.to_dict()["series"]
+        assert "data_channel_utilization" in series
+        assert "row_hit_rate" in series
+        assert "prefetch_queue_depth" in series
+        assert all(0.0 <= v <= 1.0 for v in series["row_hit_rate"]["value"])
+
+
+class TestWarmupMuting:
+    def test_mute_drops_events_and_restores_sinks(self):
+        obs = Observer(label="m", pid=1)
+        obs.record("h", 1.0)
+        obs.mute()
+        obs.instant("warm", 1.0, obs.CACHE)
+        obs.record("h", 5.0)
+        obs.timeline.add("dram_accesses", 0.0)
+        obs.mute()  # idempotent: nested mute must not clobber the sinks
+        obs.unmute()
+        obs.instant("measured", 2.0, obs.CACHE)
+        names = {e["name"] for e in obs.trace.events}
+        assert "measured" in names
+        assert "warm" not in names
+        assert obs.hists["h"].total == 1
+        assert obs.timeline.series("dram_accesses") == {}
+
+    def test_warmup_emits_no_events(self):
+        """The warm-up pass fills the L2 — ~96% of a tiny point's event
+        volume if traced — and is not part of the measured window."""
+        from repro.core.system import System
+        from repro.workloads.registry import build_warmup_trace
+
+        obs = Observer(label="w", pid=1)
+        config = SystemConfig()
+        system = System(config, obs=obs)
+        system.warmup(build_warmup_trace("swim", l2_bytes=config.l2.size_bytes))
+        assert all(e["ph"] == "M" for e in obs.trace.events)
+        assert not obs.hists
+        system.run(build_trace("swim", 2_000))
+        assert any(e["ph"] != "M" for e in obs.trace.events)
+
+
+class TestObsSessionFiles:
+    def test_session_files_validate(self, tmp_path, capsys):
+        from repro.core.system import System
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        session = ObsSession(trace_path=trace_path, metrics_path=metrics_path)
+        config = SystemConfig().with_prefetch(enabled=True)
+        for bench in ("swim", "mcf"):
+            obs = session.begin_point(bench)
+            System(config, obs=obs).run(build_trace(bench, 4_000))
+            session.commit_point(obs, key=bench)
+        written = session.close()
+        assert set(written) == {trace_path, metrics_path}
+
+        code = validate_main(
+            [
+                str(trace_path),
+                "--metrics",
+                str(metrics_path),
+                "--expect-tracks",
+                "demand,prefetch,dram",
+            ]
+        )
+        out = capsys.readouterr()
+        assert code == 0, out.err
+        assert "schema-clean" in out.out
+
+    def test_uncommitted_point_leaves_no_events(self, tmp_path):
+        session = ObsSession(trace_path=tmp_path / "t.json")
+        obs = session.begin_point("aborted")
+        obs.instant("l2-miss", 1.0, obs.CACHE)
+        # never committed: a retried attempt's partial events vanish
+        ok = session.begin_point("good")
+        ok.instant("l2-hit", 2.0, ok.CACHE)
+        session.commit_point(ok)
+        session.close()
+        payload = json.loads((tmp_path / "t.json").read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "l2-hit" in names
+        assert "l2-miss" not in names
+
+    def test_session_requires_an_output(self):
+        with pytest.raises(ValueError):
+            ObsSession()
+
+    def test_validator_flags_empty_track(self, tmp_path, capsys):
+        writer = TraceWriter()
+        writer.instant("only-cache", 0.0, 5)
+        path = tmp_path / "trace.json"
+        writer.write(path)
+        code = validate_main([str(path), "--expect-tracks", "writeback"])
+        assert code == 1
+        assert "no events on the 'writeback' track" in capsys.readouterr().err
