@@ -34,6 +34,7 @@ from repro.core.config import (
 )
 from repro.core.stats import SimStats, harmonic_mean
 from repro.core.system import System, simulate
+from repro.sanitize import Sanitizer, SanitizerError
 
 __version__ = "1.0.0"
 
@@ -47,6 +48,8 @@ __all__ = [
     "PART_800_40",
     "PART_800_50",
     "PrefetchConfig",
+    "Sanitizer",
+    "SanitizerError",
     "SimStats",
     "System",
     "SystemConfig",

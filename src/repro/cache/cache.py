@@ -30,6 +30,7 @@ from repro.core.stats import CacheStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.observer import Observer
+    from repro.sanitize.sanitizer import Sanitizer
 
 __all__ = ["CacheLine", "SetAssociativeCache"]
 
@@ -62,6 +63,7 @@ class SetAssociativeCache:
         "_insert_index",
         "last_was_prefetched",
         "_obs",
+        "_san",
         "_level",
     )
 
@@ -71,12 +73,16 @@ class SetAssociativeCache:
         stats: CacheStats,
         prefetch_outcome: Optional[Callable[[bool], None]] = None,
         obs: "Optional[Observer]" = None,
+        san: "Optional[Sanitizer]" = None,
         level: str = "cache",
     ) -> None:
         self.config = config
         self.stats = stats
         #: optional observer; ``None`` keeps every fill at one falsy check.
         self._obs = obs
+        #: optional sanitizer; hooks re-verify the set structure after
+        #: every mutation (see :mod:`repro.sanitize.cache`).
+        self._san = san
         self._level = level
         #: callback invoked with True (useful) / False (evicted unused)
         #: for each prefetched line's final outcome; feeds the engine's
@@ -96,6 +102,8 @@ class SetAssociativeCache:
         }
         #: set by :meth:`access`: the last hit consumed a prefetched line.
         self.last_was_prefetched = False
+        if san is not None:
+            san.register_cache(level, self)
 
     # -- lookups -----------------------------------------------------------------
 
@@ -136,13 +144,20 @@ class SetAssociativeCache:
         stats.accesses += 1
         self.last_was_prefetched = False
         block, index, line = self._find(addr)
+        san = self._san
         if line is None:
             stats.misses += 1
+            if san is not None:
+                san.cache_miss(self._level, index)
             return None
         lines = self._sets[index]
         if lines[0] is not line:
             lines.remove(line)
             lines.insert(0, line)
+        if san is not None:
+            # Hook before the dirty mutation: the checker needs to see
+            # the clean→dirty transition to keep its conservation count.
+            san.cache_access(self._level, index, is_write and not line.dirty)
         if is_write:
             line.dirty = True
         if line.prefetched:
@@ -180,7 +195,12 @@ class SetAssociativeCache:
         evicted.
         """
         block, index, line = self._find(addr)
+        san = self._san
         if line is not None:
+            if san is not None:
+                san.cache_fill_merge(
+                    self._level, index, ready_time, dirty and not line.dirty
+                )
             line.dirty = line.dirty or dirty
             line.ready_time = min(line.ready_time, ready_time)
             if not prefetched:
@@ -201,6 +221,8 @@ class SetAssociativeCache:
         line = CacheLine(block, dirty, prefetched, ready_time)
         lines.insert(min(slot, len(lines)), line)
         tags[block] = line
+        if san is not None:
+            san.cache_fill(self._level, index, ready_time, dirty, victim)
         obs = self._obs
         if obs is not None:
             obs.cache_fill(
@@ -220,6 +242,8 @@ class SetAssociativeCache:
             return None
         self._sets[index].remove(line)
         del self._tags[index][block]
+        if self._san is not None:
+            self._san.cache_invalidate(self._level, index, line)
         return line
 
     # -- diagnostics ----------------------------------------------------------------

@@ -23,6 +23,7 @@ from repro.dram.controller import MemoryController
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.observer import Observer
+    from repro.sanitize.sanitizer import Sanitizer
 
 __all__ = ["AccessKind", "MemoryHierarchy"]
 
@@ -55,6 +56,7 @@ class MemoryHierarchy:
         "_perfect_l2",
         "_l2_hit_latency",
         "_obs",
+        "_san",
     )
 
     def __init__(
@@ -62,12 +64,18 @@ class MemoryHierarchy:
         config: SystemConfig,
         stats: SimStats,
         obs: "Optional[Observer]" = None,
+        san: "Optional[Sanitizer]" = None,
     ) -> None:
         self.config = config
         self.stats = stats
         self._obs = obs
-        self.l1i = SetAssociativeCache(config.l1i, stats.l1i, obs=obs, level="l1i")
-        self.l1d = SetAssociativeCache(config.l1d, stats.l1d, obs=obs, level="l1d")
+        self._san = san
+        self.l1i = SetAssociativeCache(
+            config.l1i, stats.l1i, obs=obs, san=san, level="l1i"
+        )
+        self.l1d = SetAssociativeCache(
+            config.l1d, stats.l1d, obs=obs, san=san, level="l1d"
+        )
         self.controller = MemoryController(
             config.dram,
             config.core,
@@ -75,12 +83,14 @@ class MemoryHierarchy:
             prefetch=config.prefetch,
             block_bytes=config.l2.block_bytes,
             obs=obs,
+            san=san,
         )
         self.l2 = SetAssociativeCache(
             config.l2,
             stats.l2,
             prefetch_outcome=self._prefetch_outcome,
             obs=obs,
+            san=san,
             level="l2",
         )
         self.controller.connect_l2(self._prefetch_fill, self.l2.contains)
@@ -222,6 +232,10 @@ class MemoryHierarchy:
         """An L1 victim's dirty data moves into the L2 (or to memory)."""
         line = self.l2.peek(victim_addr)
         if line is not None:
+            if self._san is not None and not line.dirty:
+                # In-place dirty transition outside the cache's own
+                # mutation paths: keep the conservation count in step.
+                self._san.cache_dirtied("l2")
             line.dirty = True
             return
         if self._perfect_l2:

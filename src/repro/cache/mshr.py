@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.observer import Observer
+    from repro.sanitize.sanitizer import Sanitizer
 
 __all__ = ["MSHRFile"]
 
@@ -21,12 +22,13 @@ __all__ = ["MSHRFile"]
 class MSHRFile:
     """Bounded set of outstanding fills, tracked as completion times."""
 
-    __slots__ = ("entries", "_completions", "stalls", "_obs", "_level")
+    __slots__ = ("entries", "_completions", "stalls", "_obs", "_san", "_level")
 
     def __init__(
         self,
         entries: int,
         obs: "Optional[Observer]" = None,
+        san: "Optional[Sanitizer]" = None,
         level: str = "l1d",
     ) -> None:
         if entries < 1:
@@ -36,6 +38,7 @@ class MSHRFile:
         #: number of times a miss had to wait for a free MSHR.
         self.stalls = 0
         self._obs = obs
+        self._san = san
         self._level = level
 
     def __len__(self) -> int:
@@ -46,9 +49,14 @@ class MSHRFile:
         heap = self._completions
         while heap and heap[0] <= now:
             heapq.heappop(heap)
+        san = self._san
         if len(heap) < self.entries:
+            if san is not None:
+                san.mshr_acquire(self._level, now, now, len(heap), self.entries)
             return now
         self.stalls += 1
+        if san is not None:
+            san.mshr_acquire(self._level, now, heap[0], len(heap), self.entries)
         wait_until = heapq.heappop(heap)
         obs = self._obs
         if obs is not None:
@@ -66,6 +74,15 @@ class MSHRFile:
     def commit(self, completion: float) -> None:
         """Record a newly issued fill that completes at ``completion``."""
         heapq.heappush(self._completions, completion)
+        if self._san is not None:
+            self._san.mshr_commit(
+                self._level, completion, len(self._completions), self.entries
+            )
+
+    def quiesce(self, finish: float) -> None:
+        """End of run: every outstanding fill must drain by ``finish``."""
+        if self._san is not None:
+            self._san.mshr_quiesce(self._level, self._completions, finish)
 
     def reset(self) -> None:
         self._completions.clear()

@@ -16,6 +16,7 @@ import hashlib
 import json
 import math
 from dataclasses import asdict, dataclass, field, replace
+from typing import Dict
 
 __all__ = [
     "CoreConfig",
@@ -276,6 +277,22 @@ class DRAMConfig:
     def transfer_packets(self, nbytes: int) -> int:
         """Number of data packets needed to move ``nbytes``."""
         return max(1, math.ceil(nbytes / self.logical_dualoct_bytes))
+
+    def timing_cycles(self, core: CoreConfig) -> Dict[str, float]:
+        """The part's five timings converted to CPU cycles.
+
+        The channel model and the sanitizer's shadow model both read
+        their timings from here, so the two always compare the exact
+        same float values (the shadow needs no epsilon).
+        """
+        part = self.part
+        return {
+            "t_prer": core.ns_to_cycles(part.t_prer_ns),
+            "t_act": core.ns_to_cycles(part.t_act_ns),
+            "t_rdwr": core.ns_to_cycles(part.t_rdwr_ns),
+            "t_transfer": core.ns_to_cycles(part.t_transfer_ns),
+            "t_packet": core.ns_to_cycles(part.t_packet_ns),
+        }
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.core.config import SystemConfig
@@ -19,6 +19,7 @@ from repro.cpu.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.obs.observer import Observer
+    from repro.sanitize.sanitizer import Sanitizer
 
 __all__ = ["System", "simulate"]
 
@@ -33,19 +34,42 @@ class System:
     ``obs`` threads an optional :class:`repro.obs.Observer` through
     every component; observability never changes the simulation — the
     statistics are byte-identical with it on or off.
+
+    ``sanitize`` threads an optional :class:`repro.sanitize.Sanitizer`
+    through the same seams: pass ``True`` to build one, or an existing
+    instance to share it.  Like observability it never changes the
+    simulation; it only *checks* it, raising
+    :class:`repro.sanitize.SanitizerError` on the first violated
+    invariant.
     """
 
-    def __init__(self, config: SystemConfig, obs: "Optional[Observer]" = None) -> None:
+    def __init__(
+        self,
+        config: SystemConfig,
+        obs: "Optional[Observer]" = None,
+        sanitize: "Union[bool, Sanitizer, None]" = None,
+    ) -> None:
         self.config = config.validate()
         self.stats = SimStats()
         self.obs = obs
-        self.hierarchy = MemoryHierarchy(config, self.stats, obs=obs)
-        self.core = OutOfOrderCore(config, self.hierarchy, self.stats, obs=obs)
+        if sanitize is True:
+            from repro.sanitize.sanitizer import Sanitizer
+
+            san: "Optional[Sanitizer]" = Sanitizer()
+        else:
+            san = sanitize or None
+        self.san = san
+        self.hierarchy = MemoryHierarchy(config, self.stats, obs=obs, san=san)
+        self.core = OutOfOrderCore(config, self.hierarchy, self.stats, obs=obs, san=san)
         self._clock = 0.0
 
     def run(self, trace: Trace) -> SimStats:
         """Execute ``trace`` on this system; returns accumulated stats."""
         self._clock = self.core.run(trace, start_time=self._clock)
+        if self.san is not None:
+            # End-of-run structural sweep: tag/recency mirrors,
+            # conservation counts, shadow-vs-real DRAM bank state.
+            self.san.quiesce(self._clock)
         return self.stats
 
     def warmup(self, trace: Trace) -> None:
@@ -69,6 +93,7 @@ def simulate(
     config: SystemConfig,
     warmup_trace: Optional[Trace] = None,
     obs: "Optional[Observer]" = None,
+    sanitize: "Union[bool, Sanitizer, None]" = None,
 ) -> SimStats:
     """Run ``trace`` on a fresh system built from ``config``.
 
@@ -76,9 +101,10 @@ def simulate(
     returned statistics (the paper similarly verified that cold-start
     misses did not perturb its measurements, Section 3.1).  ``obs``
     optionally records traces/histograms/timelines without perturbing
-    the statistics.
+    the statistics; ``sanitize`` runs the same simulation under the
+    runtime invariant checker.
     """
-    system = System(config, obs=obs)
+    system = System(config, obs=obs, sanitize=sanitize)
     if warmup_trace is not None:
         system.warmup(warmup_trace)
     return system.run(trace)

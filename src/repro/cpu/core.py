@@ -34,6 +34,7 @@ from repro.cpu.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.observer import Observer
+    from repro.sanitize.sanitizer import Sanitizer
 
 __all__ = ["OutOfOrderCore"]
 
@@ -51,11 +52,13 @@ class OutOfOrderCore:
         hierarchy: MemoryHierarchy,
         stats: SimStats,
         obs: "Optional[Observer]" = None,
+        san: "Optional[Sanitizer]" = None,
     ) -> None:
         self.config = config
         self.hierarchy = hierarchy
         self.stats = stats
         self._obs = obs
+        self._san = san
 
     def run(self, trace: Trace, start_time: float = 0.0) -> float:
         """Simulate the whole trace starting at ``start_time``.
@@ -85,8 +88,9 @@ class OutOfOrderCore:
         use_swpf = self.config.software_prefetch
 
         obs = self._obs  # None in normal runs: one falsy check per event site
-        d_mshrs = MSHRFile(self.config.l1d.mshrs, obs=obs, level="l1d")
-        i_mshrs = MSHRFile(self.config.l1i.mshrs, obs=obs, level="l1i")
+        san = self._san
+        d_mshrs = MSHRFile(self.config.l1d.mshrs, obs=obs, san=san, level="l1d")
+        i_mshrs = MSHRFile(self.config.l1i.mshrs, obs=obs, san=san, level="l1i")
         d_acquire = d_mshrs.acquire
         d_commit = d_mshrs.commit
         i_acquire = i_mshrs.acquire
@@ -204,6 +208,11 @@ class OutOfOrderCore:
                 commit_front = done
         finish = max(dispatch, commit_front, end_time)
         self.hierarchy.finish(finish)
+        if san is not None:
+            # MSHR files are per-run: their drain check happens here, at
+            # the end of the run that owns them.
+            d_mshrs.quiesce(finish)
+            i_mshrs.quiesce(finish)
         stats.instructions += inst_count
         stats.cycles += finish - start_time
         stats.loads += loads

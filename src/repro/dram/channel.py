@@ -34,6 +34,7 @@ from repro.dram.mapping import DRAMCoordinates
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.observer import Observer
+    from repro.sanitize.sanitizer import Sanitizer
 
 __all__ = ["AccessOutcome", "LogicalChannel"]
 
@@ -63,6 +64,7 @@ class LogicalChannel:
         "col_bus_free",
         "data_bus_free",
         "_obs",
+        "_san",
         "_cls_names",
     )
 
@@ -72,10 +74,12 @@ class LogicalChannel:
         core: CoreConfig,
         stats: SimStats,
         obs: "Optional[Observer]" = None,
+        san: "Optional[Sanitizer]" = None,
     ) -> None:
         self.config = config
         self.stats = stats
         self._obs = obs
+        self._san = san
         # Access-class labels for observability, resolved by identity of
         # the per-class stats bucket the caller passes to :meth:`access`
         # (buckets outside this SimStats — unit tests — read "other").
@@ -84,12 +88,12 @@ class LogicalChannel:
             id(stats.dram_writebacks): "writeback",
             id(stats.dram_prefetches): "prefetch",
         }
-        part = config.part
-        self._t_prer = core.ns_to_cycles(part.t_prer_ns)
-        self._t_act = core.ns_to_cycles(part.t_act_ns)
-        self._t_rdwr = core.ns_to_cycles(part.t_rdwr_ns)
-        self._t_transfer = core.ns_to_cycles(part.t_transfer_ns)
-        self._t_packet = core.ns_to_cycles(part.t_packet_ns)
+        timings = config.timing_cycles(core)
+        self._t_prer = timings["t_prer"]
+        self._t_act = timings["t_act"]
+        self._t_rdwr = timings["t_rdwr"]
+        self._t_transfer = timings["t_transfer"]
+        self._t_packet = timings["t_packet"]
         self._closed_page = config.row_policy == "closed"
         self.banks = BankArray(
             config.banks_per_device,
@@ -99,6 +103,8 @@ class LogicalChannel:
         self.row_bus_free = 0.0
         self.col_bus_free = 0.0
         self.data_bus_free = 0.0
+        if san is not None:
+            san.register_channel(self, timings, self._closed_page)
 
     # -- queries used by the controller and prefetch prioritizer ------------
 
@@ -155,8 +161,12 @@ class LogicalChannel:
         cls.accesses += 1
         stats = self.stats
         obs = self._obs  # observability is read-only: timings are untouched
-        if obs is not None:
+        san = self._san  # sanitizer hooks are read-only too
+        if obs is not None or san is not None:
             cls_name = self._cls_names.get(id(cls), "other")
+        #: (cmd_start, data_end) of each packet, gathered for the shadow model.
+        packets_sched = None if san is None else []
+        if obs is not None:
             obs.instant(
                 "dram-enqueue",
                 time,
@@ -230,6 +240,8 @@ class LogicalChannel:
             if i == 0:
                 first_data = data_end
                 first_cmd = cmd_start
+            if packets_sched is not None:
+                packets_sched.append((cmd_start, data_end))
             if obs is not None:
                 obs.instant("column-access", cmd_start, obs.DRAM, {"bank": coords.bank})
                 burst_start = data_end - self._t_transfer
@@ -266,5 +278,19 @@ class LogicalChannel:
                 service_start = prer_start
             obs.record(f"dram_queue_wait.{cls_name}", service_start - time)
             obs.record(f"dram_service.{cls_name}", completion - service_start)
+
+        if san is not None:
+            san.dram_access(
+                self,
+                time,
+                coords.bank,
+                coords.row,
+                outcome,
+                cls_name,
+                prer_start if outcome == AccessOutcome.ROW_MISS else None,
+                act_start if outcome != AccessOutcome.ROW_HIT else None,
+                packets_sched,
+                completion,
+            )
 
         return first_data, completion

@@ -28,6 +28,7 @@ from repro.prefetch.stride import StridePrefetcher
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.observer import Observer
+    from repro.sanitize.sanitizer import Sanitizer
 
 __all__ = ["MemoryController"]
 
@@ -52,6 +53,7 @@ class MemoryController:
         "_prefetch_fill",
         "_resident",
         "_obs",
+        "_san",
     )
 
     def __init__(
@@ -62,12 +64,14 @@ class MemoryController:
         prefetch: Optional[PrefetchConfig] = None,
         block_bytes: int = 64,
         obs: "Optional[Observer]" = None,
+        san: "Optional[Sanitizer]" = None,
     ) -> None:
         self.config = dram
         self.stats = stats
         self._obs = obs
+        self._san = san
         self.mapping = make_mapping(dram)
-        self.channel = LogicalChannel(dram, core, stats, obs=obs)
+        self.channel = LogicalChannel(dram, core, stats, obs=obs, san=san)
         self.block_bytes = block_bytes
         self._block_packets = dram.transfer_packets(block_bytes)
         self._packet_time = core.ns_to_cycles(dram.part.t_packet_ns)
@@ -79,9 +83,11 @@ class MemoryController:
         self._scheduled = True
         if prefetch is not None and prefetch.enabled:
             if prefetch.engine == "stride":
-                self.prefetcher = StridePrefetcher(block_bytes, stats, obs=obs)
+                self.prefetcher = StridePrefetcher(block_bytes, stats, obs=obs, san=san)
             else:
-                self.prefetcher = RegionPrefetcher(prefetch, block_bytes, stats, obs=obs)
+                self.prefetcher = RegionPrefetcher(
+                    prefetch, block_bytes, stats, obs=obs, san=san
+                )
             self._scheduled = prefetch.scheduled
         # Wired by the system once the L2 exists.
         self._prefetch_fill: Optional[PrefetchFill] = None
@@ -116,6 +122,12 @@ class MemoryController:
         data packet) the arriving demand needs, so the engine stops one
         packet short and the demand's column command lands unimpeded.
         """
+        if self._san is not None:
+            # The demand is waiting from ``time`` until its channel
+            # access lands; a prefetch granted at or after ``time``
+            # violates the access prioritizer.  (Gap-drained prefetches
+            # below start strictly earlier, so they pass.)
+            self._san.demand_arriving(time, "demand")
         if self.prefetcher is not None and self._scheduled:
             self._drain_prefetches(deadline=time - self._idle_guard)
         coords = self.mapping.translate(addr)
@@ -137,6 +149,8 @@ class MemoryController:
 
     def writeback(self, time: float, addr: int) -> float:
         """Write one L2 block back to memory; returns completion time."""
+        if self._san is not None:
+            self._san.demand_arriving(time, "writeback")
         coords = self.mapping.translate(addr)
         _, completion = self.channel.access(
             time, coords, self._block_packets, is_write=True, cls=self.stats.dram_writebacks

@@ -165,6 +165,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "the points that succeeded instead of aborting",
     )
     parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run every simulated point under the runtime invariant "
+        "checker (repro.sanitize): DRDRAM protocol legality, demand "
+        "priority, cache/MSHR structural invariants.  Statistics and "
+        "experiment output are byte-identical with or without it; a "
+        "violated invariant fails the point immediately with full "
+        "cycle/component context.  Skips cache reads so every point "
+        "is actually simulated and checked",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="FILE",
@@ -242,6 +253,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             keep_going=args.keep_going,
             run_log=run_log,
             observe=session,
+            sanitize=args.sanitize,
             **runner_kwargs,
         )
     except OSError as error:

@@ -26,6 +26,7 @@ from repro.prefetch.region import RegionEntry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.observer import Observer
+    from repro.sanitize.sanitizer import Sanitizer
 
 __all__ = ["RegionPrefetcher", "THROTTLE_PROBE_PERIOD"]
 
@@ -44,6 +45,7 @@ class RegionPrefetcher:
         block_bytes: int,
         stats: SimStats,
         obs: "Optional[Observer]" = None,
+        san: "Optional[Sanitizer]" = None,
     ) -> None:
         if config.region_bytes < block_bytes:
             raise ValueError("region must be at least one block")
@@ -51,7 +53,7 @@ class RegionPrefetcher:
         self.block_bytes = block_bytes
         self.stats = stats
         self._obs = obs
-        self.queue = PrefetchQueue(config.queue_entries, config.policy)
+        self.queue = PrefetchQueue(config.queue_entries, config.policy, san=san)
         self._region_mask = config.region_bytes - 1
         # throttle bookkeeping (Section 4.4: on-line accuracy counters).
         self._outcome_total = 0

@@ -14,9 +14,12 @@ priority (index 0 = highest).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from repro.prefetch.region import RegionEntry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sanitize.sanitizer import Sanitizer
 
 __all__ = ["PrefetchQueue"]
 
@@ -24,9 +27,11 @@ __all__ = ["PrefetchQueue"]
 class PrefetchQueue:
     """Priority-ordered bounded list of :class:`RegionEntry`."""
 
-    __slots__ = ("capacity", "policy", "_entries", "peak_depth")
+    __slots__ = ("capacity", "policy", "_entries", "peak_depth", "_san")
 
-    def __init__(self, capacity: int, policy: str = "lifo") -> None:
+    def __init__(
+        self, capacity: int, policy: str = "lifo", san: "Optional[Sanitizer]" = None
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         if policy not in ("fifo", "lifo"):
@@ -36,6 +41,14 @@ class PrefetchQueue:
         self._entries: List[RegionEntry] = []
         #: most entries ever simultaneously queued (observability).
         self.peak_depth = 0
+        self._san = san
+
+    def _check(self) -> None:
+        san = self._san
+        if san is not None:
+            san.prefetch_queue_event(
+                len(self._entries), self.capacity, [e.base for e in self._entries]
+            )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -69,16 +82,22 @@ class PrefetchQueue:
             self._entries.insert(0, entry)
         if len(self._entries) > self.peak_depth:
             self.peak_depth = len(self._entries)
+        if self._san is not None:
+            self._check()
         return victim
 
     def promote(self, entry: RegionEntry) -> None:
         """Move ``entry`` to the highest-priority position (LIFO only)."""
         self._entries.remove(entry)
         self._entries.insert(0, entry)
+        if self._san is not None:
+            self._check()
 
     def retire(self, entry: RegionEntry) -> None:
         """Remove a region whose blocks have all been processed."""
         self._entries.remove(entry)
+        if self._san is not None:
+            self._check()
 
     def head(self) -> Optional[RegionEntry]:
         """Highest-priority entry, or None when empty."""

@@ -27,6 +27,7 @@ from repro.dram.mapping import AddressMapping
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.observer import Observer
+    from repro.sanitize.sanitizer import Sanitizer
 
 __all__ = ["StrideEntry", "StridePrefetcher"]
 
@@ -69,6 +70,7 @@ class StridePrefetcher:
         degree: int = 4,
         queue_depth: int = 32,
         obs: "Optional[Observer]" = None,
+        san: "Optional[Sanitizer]" = None,
     ) -> None:
         if degree < 1:
             raise ValueError("degree must be >= 1")
@@ -77,6 +79,7 @@ class StridePrefetcher:
         self.table_entries = table_entries
         self.degree = degree
         self._obs = obs
+        self._san = san
         self._table: "OrderedDict[int, StrideEntry]" = OrderedDict()
         self._queue: Deque[int] = deque(maxlen=queue_depth)
 
@@ -108,6 +111,10 @@ class StridePrefetcher:
                 block = predicted & ~(self.block_bytes - 1)
                 if block not in self._queue:
                     self._queue.append(block)
+        san = self._san
+        if san is not None:
+            queue = self._queue
+            san.prefetch_queue_event(len(queue), queue.maxlen, list(queue))
         self.stats.prefetch_regions_enqueued += 1
         obs = self._obs
         if obs is not None:

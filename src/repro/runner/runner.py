@@ -75,6 +75,7 @@ from repro.obs.log import JsonlSink, get_logger
 from repro.runner import faults
 from repro.runner.cache import ResultCache
 from repro.runner.worker import execute_point
+from repro.sanitize.errors import SanitizerError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.observer import ObsSession
@@ -101,7 +102,7 @@ RESULT_VERSION = 1
 _log = get_logger("repro.runner")
 
 #: failure taxonomy used by :class:`FailureRecord`.
-FAILURE_KINDS = ("timeout", "crash", "oom", "cache-io")
+FAILURE_KINDS = ("timeout", "crash", "oom", "cache-io", "sanitizer")
 
 
 @functools.lru_cache(maxsize=1)
@@ -293,6 +294,19 @@ class Runner:
         on-disk cache *reads* (a cache hit would yield an empty trace)
         while still writing fresh results back; statistics are
         unaffected either way.
+
+    Checking knobs (see :mod:`repro.sanitize`):
+
+    ``sanitize``
+        run every simulated point under the runtime invariant checker.
+        Statistics are byte-identical with it on or off, and a plain
+        bool crosses the process boundary, so sanitized runs still
+        pool.  Sanitized runs skip on-disk cache *reads* (a cache hit
+        would check nothing) but write fresh results back — identical
+        to what an unsanitized run would have written.  A violated
+        invariant raises :class:`~repro.sanitize.SanitizerError` and
+        fails the point immediately: the simulator is deterministic,
+        so retrying a violation can only reproduce it.
     """
 
     #: how many times a broken process pool is rebuilt before the
@@ -310,6 +324,7 @@ class Runner:
         keep_going: bool = False,
         run_log: Optional[JsonlSink] = None,
         observe: "Optional[ObsSession]" = None,
+        sanitize: bool = False,
     ) -> None:
         if jobs is None:
             jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
@@ -338,6 +353,7 @@ class Runner:
         self.keep_going = keep_going
         self.run_log = run_log
         self.observe = observe
+        self.sanitize = sanitize
         #: executed simulations, in completion order.
         self.job_log: List[JobResult] = []
         #: every failure event, transient and fatal, in observation order.
@@ -376,9 +392,11 @@ class Runner:
                 self.reused += 1
                 continue
             # Observed runs skip cache *reads*: a disk hit would come
-            # back with an empty trace.  Writes still happen in
-            # _record, and the stats are identical either way.
-            if self.cache is not None and self.observe is None:
+            # back with an empty trace.  Sanitized runs skip them too:
+            # a hit would simulate nothing, so nothing gets checked.
+            # Writes still happen in _record, and the stats are
+            # identical either way.
+            if self.cache is not None and self.observe is None and not self.sanitize:
                 payload = self.cache.get(key)
                 if payload is not None and "stats" in payload:
                     self._memo[key] = payload["stats"]
@@ -448,7 +466,12 @@ class Runner:
                 while ready and len(running) < workers:
                     job = ready.popleft()
                     self._log_event("point-started", job)
-                    future = pool.submit(execute_point, job.point, job.attempt)
+                    if self.sanitize:
+                        future = pool.submit(
+                            execute_point, job.point, job.attempt, sanitize=True
+                        )
+                    else:
+                        future = pool.submit(execute_point, job.point, job.attempt)
                     deadline = (now + self.timeout) if self.timeout else None
                     running[future] = (job, deadline)
                 if not running:
@@ -481,6 +504,8 @@ class Runner:
                         self._fail(
                             job, "oom", f"MemoryError: {exc}", ready, fatal
                         )
+                    except SanitizerError as exc:
+                        self._fail(job, "sanitizer", exc.render(), ready, fatal)
                     except Exception as exc:
                         self._fail(
                             job,
@@ -579,16 +604,27 @@ class Runner:
                 else None
             )
             try:
-                # ``obs`` is passed only when observing so test doubles
-                # with the historical two-argument signature keep working.
-                if obs is not None:
+                # ``obs``/``sanitize`` are passed only when enabled so
+                # test doubles with the historical two-argument
+                # signature keep working.
+                if obs is not None and self.sanitize:
+                    stats_dict, wall = execute_point(
+                        job.point, job.attempt, obs=obs, sanitize=True
+                    )
+                elif obs is not None:
                     stats_dict, wall = execute_point(job.point, job.attempt, obs=obs)
+                elif self.sanitize:
+                    stats_dict, wall = execute_point(
+                        job.point, job.attempt, sanitize=True
+                    )
                 else:
                     stats_dict, wall = execute_point(job.point, job.attempt)
             except KeyboardInterrupt:
                 raise
             except MemoryError as exc:
                 self._fail(job, "oom", f"MemoryError: {exc}", queue, fatal)
+            except SanitizerError as exc:
+                self._fail(job, "sanitizer", exc.render(), queue, fatal)
             except Exception as exc:
                 self._fail(
                     job, "crash", f"{type(exc).__name__}: {exc}", queue, fatal
@@ -610,8 +646,13 @@ class Runner:
             )
 
     def _fail(self, job, kind, message, requeue, fatal) -> None:
-        """Record a failed attempt; retry it or give the point up."""
-        is_fatal = job.attempt >= self.max_retries
+        """Record a failed attempt; retry it or give the point up.
+
+        Sanitizer violations are fatal on the first attempt: the
+        simulator is deterministic, so a violated invariant reproduces
+        identically on every retry.
+        """
+        is_fatal = job.attempt >= self.max_retries or kind == "sanitizer"
         record = FailureRecord(
             label=job.point.label(),
             key=job.key,

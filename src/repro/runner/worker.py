@@ -48,7 +48,9 @@ def get_traces(
     return (warm if len(warm) else None), main
 
 
-def execute_point(point, attempt: int = 0, obs=None) -> Tuple[Dict[str, object], float]:
+def execute_point(
+    point, attempt: int = 0, obs=None, sanitize: bool = False
+) -> Tuple[Dict[str, object], float]:
     """Simulate one :class:`~repro.runner.runner.SimPoint` from scratch.
 
     Returns ``(stats_dict, wall_seconds)``.  Fully deterministic: the
@@ -65,13 +67,20 @@ def execute_point(point, attempt: int = 0, obs=None) -> Tuple[Dict[str, object],
     changes the statistics (the A/B golden test asserts it), so cached
     and observed runs stay interchangeable.  Observed execution is
     inline-only — an Observer does not cross the process boundary.
+
+    ``sanitize`` runs the point under the runtime invariant checker
+    (:mod:`repro.sanitize`); like observability it never changes the
+    statistics, and being a plain bool it *does* cross the process
+    boundary, so sanitized runs work in the pool.  A violated invariant
+    raises :class:`~repro.sanitize.SanitizerError`, which pickles with
+    its cycle/component/event context intact.
     """
     faults.maybe_inject(point.label(), attempt)
     started = time.perf_counter()
     warm, main = get_traces(
         point.benchmark, point.memory_refs, point.seed, point.config.l2.size_bytes
     )
-    system = System(point.config, obs=obs)
+    system = System(point.config, obs=obs, sanitize=sanitize)
     if warm is not None:
         system.warmup(warm)
     stats = system.run(main)

@@ -1,0 +1,262 @@
+"""Structural checkers for the caches and the MSHR files.
+
+The cache model keeps two synchronized views of every set — the
+MRU→LRU recency list and the block-address→line tag dict (PR 3's fast
+path).  :class:`CacheChecker` re-verifies, after every mutation of a
+set, that the two views still agree exactly: same length, same line
+*objects*, block-aligned addresses that actually index into that set,
+and never more lines than the associativity.  On top of the structure
+it runs event *conservation*: counting fills, evictions, invalidations
+and dirty-bit transitions as they happen, then proving at quiesce that
+
+    fills - evictions - invalidations == occupancy
+    dirty transitions - dirty evictions - dirty invalidations
+        == resident dirty lines
+
+so a leaked, duplicated, or silently dropped line is caught even if
+every individual set check passed.
+
+:class:`MSHRChecker` verifies the structural limit the MSHR file
+models: a grant never lies in the past, a stall only happens when the
+file is actually full, occupancy never exceeds capacity, and every
+outstanding completion has drained by the end of the run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.cache import CacheLine, SetAssociativeCache
+
+__all__ = ["CacheChecker", "MSHRChecker"]
+
+#: signature of the facade's violation reporter: (message, **context).
+Violation = Callable[..., None]
+
+
+class CacheChecker:
+    """Invariant checker for one :class:`SetAssociativeCache`."""
+
+    __slots__ = (
+        "level",
+        "cache",
+        "_violation",
+        "fills",
+        "evictions",
+        "invalidations",
+        "dirty_balance",
+        "checks",
+    )
+
+    def __init__(
+        self, level: str, cache: "SetAssociativeCache", violation: Violation
+    ) -> None:
+        self.level = level
+        # The checker is the one sanctioned external reader of the
+        # cache's private set/tag structures: it exists precisely to
+        # cross-examine them against each other.
+        self.cache = cache
+        self._violation = violation
+        self.fills = 0
+        self.evictions = 0
+        self.invalidations = 0
+        #: dirty-bit transitions observed minus dirty lines removed;
+        #: must equal the number of resident dirty lines at any time.
+        self.dirty_balance = 0
+        self.checks = 0
+
+    # -- event accounting (called via the Sanitizer facade) ------------------
+
+    def accessed(self, index: int, dirtied: bool) -> None:
+        if dirtied:
+            self.dirty_balance += 1
+        self.check_set(index, event="access")
+
+    def missed(self, index: int) -> None:
+        self.check_set(index, event="miss")
+
+    def filled(
+        self, index: int, ready_time: float, dirty: bool, victim: "Optional[CacheLine]"
+    ) -> None:
+        self.fills += 1
+        if dirty:
+            self.dirty_balance += 1
+        if victim is not None:
+            self.evictions += 1
+            if victim.dirty:
+                self.dirty_balance -= 1
+        self.check_set(index, event="fill", cycle=ready_time)
+
+    def fill_merged(self, index: int, ready_time: float, dirtied: bool) -> None:
+        if dirtied:
+            self.dirty_balance += 1
+        self.check_set(index, event="fill-merge", cycle=ready_time)
+
+    def invalidated(self, index: int, line: "CacheLine") -> None:
+        self.invalidations += 1
+        if line.dirty:
+            self.dirty_balance -= 1
+        self.check_set(index, event="invalidate")
+
+    def dirtied(self) -> None:
+        """A resident line's dirty bit was set outside ``access``/``fill``
+        (the L1-victim-into-L2 writeback path mutates the line in place)."""
+        self.dirty_balance += 1
+
+    # -- the structural check -------------------------------------------------
+
+    def check_set(self, index: int, event: str, cycle: Optional[float] = None) -> None:
+        """Verify the recency list and the tag index of one set agree."""
+        self.checks += 1
+        cache = self.cache
+        lines = cache._sets[index]
+        tags = cache._tags[index]
+        component = f"cache:{self.level}"
+        if len(lines) > cache._assoc:
+            self._violation(
+                "set holds more lines than the associativity",
+                cycle=cycle,
+                component=component,
+                event=event,
+                details={"set": index, "lines": len(lines), "assoc": cache._assoc},
+            )
+        if len(tags) != len(lines):
+            self._violation(
+                "tag index and recency list disagree on the set's size",
+                cycle=cycle,
+                component=component,
+                event=event,
+                details={"set": index, "tags": len(tags), "lines": len(lines)},
+            )
+        for line in lines:
+            if tags.get(line.addr) is not line:
+                self._violation(
+                    "recency-list line missing from (or duplicated in) the tag index",
+                    cycle=cycle,
+                    component=component,
+                    event=event,
+                    details={"set": index, "addr": line.addr},
+                )
+            if line.addr & ~cache._block_mask:
+                self._violation(
+                    "resident line address is not block-aligned",
+                    cycle=cycle,
+                    component=component,
+                    event=event,
+                    details={"set": index, "addr": line.addr},
+                )
+            if ((line.addr >> cache._offset_bits) & cache._index_mask) != index:
+                self._violation(
+                    "resident line is filed in the wrong set",
+                    cycle=cycle,
+                    component=component,
+                    event=event,
+                    details={"set": index, "addr": line.addr},
+                )
+
+    # -- end-of-run conservation ---------------------------------------------
+
+    def quiesce(self, cycle: float) -> None:
+        cache = self.cache
+        component = f"cache:{self.level}"
+        for index in range(len(cache._sets)):
+            self.check_set(index, event="quiesce", cycle=cycle)
+        occupancy = cache.occupancy()
+        expected = self.fills - self.evictions - self.invalidations
+        if expected != occupancy:
+            self._violation(
+                "fill/evict/invalidate conservation does not match occupancy",
+                cycle=cycle,
+                component=component,
+                event="quiesce",
+                details={
+                    "fills": self.fills,
+                    "evictions": self.evictions,
+                    "invalidations": self.invalidations,
+                    "occupancy": occupancy,
+                },
+            )
+        dirty_resident = sum(
+            1 for lines in cache._sets for line in lines if line.dirty
+        )
+        if self.dirty_balance != dirty_resident:
+            self._violation(
+                "dirty-line conservation does not match resident dirty lines",
+                cycle=cycle,
+                component=component,
+                event="quiesce",
+                details={
+                    "balance": self.dirty_balance,
+                    "resident_dirty": dirty_resident,
+                },
+            )
+
+
+class MSHRChecker:
+    """Occupancy/drain checks shared by every MSHR file of the run.
+
+    MSHR files are created fresh inside each ``OutOfOrderCore.run``
+    call, so — unlike caches and channels — there is nothing to
+    register: every hook carries the file's level and capacity.
+    """
+
+    __slots__ = ("_violation", "checks")
+
+    def __init__(self, violation: Violation) -> None:
+        self._violation = violation
+        self.checks = 0
+
+    def acquired(
+        self, level: str, now: float, granted: float, outstanding: int, capacity: int
+    ) -> None:
+        self.checks += 1
+        component = f"mshr:{level}"
+        if outstanding > capacity:
+            self._violation(
+                "MSHR occupancy exceeds capacity",
+                cycle=now,
+                component=component,
+                event="acquire",
+                details={"outstanding": outstanding, "capacity": capacity},
+            )
+        if granted < now:
+            self._violation(
+                "MSHR granted in the past",
+                cycle=now,
+                component=component,
+                event="acquire",
+                details={"granted": granted},
+            )
+        if granted > now and outstanding < capacity:
+            self._violation(
+                "miss stalled for an MSHR while the file had free entries",
+                cycle=now,
+                component=component,
+                event="acquire",
+                details={"outstanding": outstanding, "capacity": capacity},
+            )
+
+    def committed(
+        self, level: str, completion: float, outstanding: int, capacity: int
+    ) -> None:
+        self.checks += 1
+        if outstanding > capacity:
+            self._violation(
+                "MSHR occupancy exceeds capacity",
+                cycle=completion,
+                component=f"mshr:{level}",
+                event="commit",
+                details={"outstanding": outstanding, "capacity": capacity},
+            )
+
+    def quiesced(self, level: str, completions: List[float], finish: float) -> None:
+        self.checks += 1
+        if completions and max(completions) > finish:
+            self._violation(
+                "MSHR still outstanding past the end of the run",
+                cycle=finish,
+                component=f"mshr:{level}",
+                event="quiesce",
+                details={"latest_completion": max(completions)},
+            )

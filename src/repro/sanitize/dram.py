@@ -1,0 +1,348 @@
+"""DRDRAM protocol-legality and access-prioritizer checkers.
+
+:class:`ChannelChecker` shadows one :class:`LogicalChannel` with its own
+copies of the three bus "next free" timestamps and the per-bank row
+state, updated from the *reported* command times of each access.  Every
+access is then validated against the DRDRAM command sequence of
+Section 2.2:
+
+* classification — the reported hit/empty/miss outcome must match the
+  shadow row state (catches a bank that forgot to latch or flush);
+* PRER/ACT sequencing — a precharge may not start before the request
+  arrives, the row bus frees, or the bank's previous data drains; the
+  activate must wait ``t_prer`` after the precharge and ``t_act`` must
+  elapse before the first RD/WR;
+* bus occupancy — command packets occupy their bus for one packet time
+  and data bursts may never overlap on the data bus (each burst must
+  start at or after the previous one ends);
+* neighbour flush — activating a bank must leave every shared-sense-amp
+  neighbour's row buffer empty, in the *real* :class:`BankArray` as
+  well as the shadow (only one of each adjacent pair open at a time).
+
+All comparisons are exact: the shadow advances using the same float
+operations the channel itself performs, so a correct channel satisfies
+every inequality with equality-level precision and no epsilon is
+needed.
+
+:class:`PrioritizerChecker` enforces the paper's core scheduling claim
+(Section 4.1): from the moment a demand miss or writeback arrives at
+the controller until the channel grants it, no prefetch may be granted
+the channel at or after the waiter's arrival time.  Prefetches drained
+into the idle gap *before* the demand arrives are legal — their issue
+times precede the demand's — so the check is purely on simulated time,
+independent of the order the transaction-level simulator schedules in.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dram.channel import LogicalChannel
+
+__all__ = ["ChannelChecker", "PrioritizerChecker"]
+
+Violation = Callable[..., None]
+
+_COMPONENT = "dram:channel"
+
+
+class ChannelChecker:
+    """Shadow model validating one logical channel's command schedule."""
+
+    __slots__ = (
+        "channel",
+        "_violation",
+        "t_prer",
+        "t_act",
+        "t_rdwr",
+        "t_transfer",
+        "t_packet",
+        "closed_page",
+        "open_rows",
+        "busy_until",
+        "row_free",
+        "col_free",
+        "data_free",
+        "checks",
+    )
+
+    def __init__(
+        self,
+        channel: "LogicalChannel",
+        timings: dict,
+        closed_page: bool,
+        violation: Violation,
+    ) -> None:
+        self.channel = channel
+        self._violation = violation
+        self.t_prer = timings["t_prer"]
+        self.t_act = timings["t_act"]
+        self.t_rdwr = timings["t_rdwr"]
+        self.t_transfer = timings["t_transfer"]
+        self.t_packet = timings["t_packet"]
+        self.closed_page = closed_page
+        nbanks = len(channel.banks)
+        self.open_rows: List[Optional[int]] = [None] * nbanks
+        self.busy_until: List[float] = [0.0] * nbanks
+        self.row_free = 0.0
+        self.col_free = 0.0
+        self.data_free = 0.0
+        self.checks = 0
+
+    def access(
+        self,
+        time: float,
+        bank: int,
+        row: int,
+        outcome: str,
+        prer_start: Optional[float],
+        act_start: Optional[float],
+        packets: Sequence[Tuple[float, float]],
+        completion: float,
+    ) -> None:
+        """Validate one scheduled request against the shadow model."""
+        self.checks += 1
+        shadow_open = self.open_rows[bank]
+        expected = (
+            "hit" if shadow_open == row else "empty" if shadow_open is None else "miss"
+        )
+        if outcome != expected:
+            self._violation(
+                "row-buffer outcome disagrees with the command history",
+                cycle=time,
+                component=_COMPONENT,
+                event="classify",
+                details={
+                    "bank": bank,
+                    "row": row,
+                    "reported": outcome,
+                    "expected": expected,
+                    "shadow_open_row": shadow_open,
+                },
+            )
+
+        if outcome == "hit":
+            # Consecutive column accesses to the latched row need no row
+            # command; bank.busy_until only gates precharge/activate.
+            row_ready = time
+        else:
+            if outcome == "miss":
+                earliest = max(time, self.row_free, self.busy_until[bank])
+                if prer_start is None or prer_start < earliest:
+                    self._violation(
+                        "PRER issued before the row bus and bank were free",
+                        cycle=time,
+                        component=_COMPONENT,
+                        event="precharge",
+                        details={
+                            "bank": bank,
+                            "prer_start": prer_start,
+                            "earliest_legal": earliest,
+                        },
+                    )
+                self.row_free = prer_start + self.t_packet
+                earliest_act = max(prer_start + self.t_prer, self.row_free)
+            else:
+                earliest_act = max(time, self.row_free, self.busy_until[bank])
+            if act_start is None or act_start < earliest_act:
+                self._violation(
+                    "ACT issued before t_prer elapsed / the row bus was free",
+                    cycle=time,
+                    component=_COMPONENT,
+                    event="activate",
+                    details={
+                        "bank": bank,
+                        "act_start": act_start,
+                        "earliest_legal": earliest_act,
+                    },
+                )
+            self.row_free = act_start + self.t_packet
+            row_ready = act_start + self.t_act
+            # Shadow activate: latch the row and flush the shared-sense-amp
+            # neighbours per the Figure 2 rule...
+            banks = self.channel.banks
+            self.open_rows[bank] = row
+            for n in banks.neighbours(bank):
+                self.open_rows[n] = None
+            # ...then verify the real BankArray honoured the same rule.
+            # (Under the closed-page policy the bank has already been
+            # auto-precharged by the time this hook runs; the
+            # closed-page block below checks it instead.)
+            if not self.closed_page and banks.open_row(bank) != row:
+                self._violation(
+                    "bank did not latch the activated row",
+                    cycle=act_start,
+                    component="dram:bank",
+                    event="activate",
+                    details={"bank": bank, "row": row, "open": banks.open_row(bank)},
+                )
+            for n in banks.neighbours(bank):
+                if banks.open_row(n) is not None:
+                    self._violation(
+                        "shared-sense-amp neighbour kept its row across an activate",
+                        cycle=act_start,
+                        component="dram:bank",
+                        event="neighbour-flush",
+                        details={
+                            "activated_bank": bank,
+                            "neighbour": n,
+                            "neighbour_open_row": banks.open_row(n),
+                        },
+                    )
+
+        if not packets:
+            self._violation(
+                "access transferred no data packets",
+                cycle=time,
+                component=_COMPONENT,
+                event="transfer",
+                details={"bank": bank},
+            )
+        last_data_end = self.data_free
+        for cmd_start, data_end in packets:
+            if cmd_start < row_ready:
+                self._violation(
+                    "RD/WR issued before t_act elapsed",
+                    cycle=cmd_start,
+                    component=_COMPONENT,
+                    event="column-access",
+                    details={"bank": bank, "cmd_start": cmd_start, "row_ready": row_ready},
+                )
+            if cmd_start < self.col_free:
+                self._violation(
+                    "column-bus packets overlap",
+                    cycle=cmd_start,
+                    component=_COMPONENT,
+                    event="column-access",
+                    details={"cmd_start": cmd_start, "col_bus_free": self.col_free},
+                )
+            self.col_free = cmd_start + self.t_packet
+            # Two lower bounds, composed exactly as the channel computes
+            # the burst end so a correct schedule compares equal:
+            # data follows its command by t_rdwr, and bursts queue on the
+            # data bus without overlapping.
+            if data_end < cmd_start + self.t_rdwr + self.t_transfer:
+                self._violation(
+                    "data burst earlier than t_rdwr after its RD/WR",
+                    cycle=cmd_start,
+                    component=_COMPONENT,
+                    event="data-burst",
+                    details={"cmd_start": cmd_start, "data_end": data_end},
+                )
+            if data_end < self.data_free + self.t_transfer:
+                self._violation(
+                    "data bursts overlap on the data bus",
+                    cycle=cmd_start,
+                    component=_COMPONENT,
+                    event="data-burst",
+                    details={"data_end": data_end, "data_bus_free": self.data_free},
+                )
+            self.data_free = data_end
+            last_data_end = data_end
+        if completion != last_data_end:
+            self._violation(
+                "completion time does not match the last data packet",
+                cycle=completion,
+                component=_COMPONENT,
+                event="complete",
+                details={"completion": completion, "last_data_end": last_data_end},
+            )
+        self.busy_until[bank] = completion
+
+        if self.closed_page:
+            # Automatic precharge: one PRER on the row bus after the data
+            # drains, leaving the bank empty and busy for t_prer.
+            prer = max(completion, self.row_free)
+            self.row_free = prer + self.t_packet
+            self.open_rows[bank] = None
+            self.busy_until[bank] = prer + self.t_prer
+            if self.channel.banks.open_row(bank) is not None:
+                self._violation(
+                    "closed-page policy left the row latched",
+                    cycle=completion,
+                    component="dram:bank",
+                    event="auto-precharge",
+                    details={"bank": bank},
+                )
+
+    def quiesce(self, cycle: float) -> None:
+        """End of run: shadow and real bank state must agree exactly, and
+        no two shared-sense-amp neighbours may both hold an open row."""
+        self.checks += 1
+        banks = self.channel.banks
+        for index in range(len(banks)):
+            real = banks.open_row(index)
+            if real != self.open_rows[index]:
+                self._violation(
+                    "bank row state diverged from the command history",
+                    cycle=cycle,
+                    component="dram:bank",
+                    event="quiesce",
+                    details={
+                        "bank": index,
+                        "open": real,
+                        "shadow": self.open_rows[index],
+                    },
+                )
+            if real is not None:
+                for n in banks.neighbours(index):
+                    if banks.open_row(n) is not None:
+                        self._violation(
+                            "adjacent banks hold open rows simultaneously",
+                            cycle=cycle,
+                            component="dram:bank",
+                            event="quiesce",
+                            details={"bank": index, "neighbour": n},
+                        )
+
+
+class PrioritizerChecker:
+    """Demand-priority invariant of the access prioritizer (Section 4.1)."""
+
+    __slots__ = ("_violation", "pending_time", "pending_kind", "checks")
+
+    def __init__(self, violation: Violation) -> None:
+        self._violation = violation
+        #: arrival time of the demand/writeback the controller is
+        #: currently scheduling, cleared when its channel access lands.
+        self.pending_time: Optional[float] = None
+        self.pending_kind = ""
+        self.checks = 0
+
+    def arriving(self, time: float, kind: str) -> None:
+        self.pending_time = time
+        self.pending_kind = kind
+
+    def granted(self, time: float, cls_name: str) -> None:
+        """The channel granted an access of class ``cls_name`` at ``time``."""
+        self.checks += 1
+        if cls_name == "prefetch":
+            if self.pending_time is not None and time >= self.pending_time:
+                self._violation(
+                    "prefetch granted the channel while a demand was waiting",
+                    cycle=time,
+                    component="controller",
+                    event="prefetch-while-demand-pending",
+                    details={
+                        "prefetch_issue": time,
+                        "pending_since": self.pending_time,
+                        "pending_kind": self.pending_kind,
+                    },
+                )
+        elif cls_name in ("demand", "writeback"):
+            self.pending_time = None
+            self.pending_kind = ""
+
+    def quiesce(self, cycle: float) -> None:
+        if self.pending_time is not None:
+            self._violation(
+                "demand arrived at the controller but never reached the channel",
+                cycle=cycle,
+                component="controller",
+                event="quiesce",
+                details={
+                    "pending_since": self.pending_time,
+                    "pending_kind": self.pending_kind,
+                },
+            )

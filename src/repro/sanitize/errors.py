@@ -1,0 +1,69 @@
+"""The structured violation error every checker raises.
+
+A :class:`SanitizerError` is an AssertionError-grade event: it means the
+simulator broke one of the protocol or structural invariants the paper's
+results rest on, not that the user misconfigured anything.  The error
+carries enough context to debug the violation without re-running —
+the simulated cycle, the component that tripped the check, the event
+being processed, and a details mapping of the values that disagreed.
+
+Errors must survive a ``ProcessPoolExecutor`` round trip (sanitized
+points can run in pool workers), so pickling is wired explicitly via
+``__reduce__`` — the default ``Exception`` reduction would drop the
+keyword-only context fields.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["SanitizerError"]
+
+
+class SanitizerError(AssertionError):
+    """A runtime invariant of the simulated memory system was violated."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cycle: Optional[float] = None,
+        component: str = "",
+        event: str = "",
+        details: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.message = message
+        self.cycle = cycle
+        self.component = component
+        self.event = event
+        self.details: Dict[str, object] = dict(details or {})
+        super().__init__(self.render())
+
+    def render(self) -> str:
+        """One-line human-readable account of the violation."""
+        where = []
+        if self.cycle is not None:
+            where.append(f"cycle={self.cycle:g}")
+        if self.component:
+            where.append(f"component={self.component}")
+        if self.event:
+            where.append(f"event={self.event}")
+        prefix = f"[{' '.join(where)}] " if where else ""
+        suffix = ""
+        if self.details:
+            pairs = ", ".join(f"{k}={v!r}" for k, v in sorted(self.details.items()))
+            suffix = f" ({pairs})"
+        return f"{prefix}{self.message}{suffix}"
+
+    def __reduce__(self):
+        return (
+            _rebuild,
+            (self.message, self.cycle, self.component, self.event, self.details),
+        )
+
+
+def _rebuild(message, cycle, component, event, details) -> SanitizerError:
+    """Unpickle helper (module-level so it is importable by reference)."""
+    return SanitizerError(
+        message, cycle=cycle, component=component, event=event, details=details
+    )

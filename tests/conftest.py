@@ -1,0 +1,22 @@
+"""Shared test configuration: deterministic hypothesis profiles.
+
+Two registered profiles:
+
+* ``ci`` — fully deterministic: fixed seed via ``derandomize`` so a CI
+  run can never flake on a freshly generated example, and no deadline
+  so slow shared runners don't fail healthy tests.
+* ``dev`` — hypothesis defaults (random exploration), for local runs
+  hunting new counterexamples.
+
+CI selects with ``HYPOTHESIS_PROFILE=ci``; the default is ``dev`` so
+local development keeps exploring fresh inputs.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.register_profile("dev", deadline=None)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -1,0 +1,122 @@
+"""A/B guarantees: sanitizing must never change simulation results.
+
+Mirrors ``test_obs_ab.py``: the sanitizer is checked against the
+byte-identity bar — same ``SimStats``, same experiment stdout — plus
+the runner-level behaviour of ``sanitize=True`` (cache-read skipping,
+pooled execution, sanitizer failures being immediately fatal).
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.system import System
+from repro.experiments import cli, common
+from repro.runner import Runner, SimPoint
+from repro.runner import runner as runner_module
+from repro.sanitize import SanitizerError
+from repro.workloads import build_trace
+from repro.workloads.registry import build_warmup_trace
+
+MICRO = common.Profile("micro", memory_refs=1500, benchmarks=("swim", "twolf", "eon"))
+
+
+def _run(config, benchmark, refs, sanitize=False):
+    system = System(config, sanitize=sanitize)
+    system.warmup(build_warmup_trace(benchmark, l2_bytes=config.l2.size_bytes))
+    return system.run(build_trace(benchmark, refs))
+
+
+class TestStatsAB:
+    @pytest.mark.parametrize("prefetch", [False, True])
+    def test_stats_byte_identical_with_sanitizer(self, prefetch):
+        config = SystemConfig()
+        if prefetch:
+            config = config.with_prefetch(enabled=True)
+        plain = _run(config, "swim", 6_000)
+        sanitized = _run(config, "swim", 6_000, sanitize=True)
+        assert json.dumps(plain.to_dict(), sort_keys=True) == json.dumps(
+            sanitized.to_dict(), sort_keys=True
+        )
+
+    def test_mcf_prefetch_matches_too(self):
+        config = SystemConfig().with_prefetch(enabled=True)
+        plain = _run(config, "mcf", 4_000)
+        sanitized = _run(config, "mcf", 4_000, sanitize=True)
+        assert plain.to_dict() == sanitized.to_dict()
+
+
+class TestCLIStdoutAB:
+    def test_table1_stdout_byte_identical(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            common, "PROFILES", dict(common.PROFILES, tiny=MICRO), raising=True
+        )
+        assert cli.main(["table1", "--profile", "tiny", "--no-cache"]) == 0
+        plain = capsys.readouterr().out
+        assert cli.main(["table1", "--profile", "tiny", "--no-cache", "--sanitize"]) == 0
+        sanitized = capsys.readouterr().out
+        assert plain == sanitized
+        assert plain  # the experiment actually printed its table
+
+
+class TestRunnerSanitizeMode:
+    def _point(self, benchmark="swim"):
+        return SimPoint(
+            benchmark=benchmark,
+            config=SystemConfig().with_prefetch(enabled=True),
+            memory_refs=4_000,
+            seed=0,
+        )
+
+    def test_sanitized_stats_equal_plain_stats(self):
+        point = self._point()
+        plain = Runner(jobs=1, cache_dir=None).run_point(point)
+        sanitized = Runner(jobs=1, cache_dir=None, sanitize=True).run_point(point)
+        assert plain.to_dict() == sanitized.to_dict()
+
+    def test_sanitize_skips_cache_reads_but_still_writes(self, tmp_path):
+        point = self._point()
+        cache_dir = tmp_path / "cache"
+        first = Runner(jobs=1, cache_dir=cache_dir)
+        first.run_point(point)
+        assert first.simulated == 1
+        # A disk hit would simulate nothing, checking nothing: the
+        # sanitized runner re-simulates instead.
+        second = Runner(jobs=1, cache_dir=cache_dir, sanitize=True)
+        second.run_point(point)
+        assert second.disk_hits == 0
+        assert second.simulated == 1
+        # ...and an unsanitized run afterwards still gets the disk hit.
+        third = Runner(jobs=1, cache_dir=cache_dir)
+        third.run_point(point)
+        assert third.disk_hits == 1
+        assert third.simulated == 0
+
+    def test_sanitize_crosses_the_process_pool(self):
+        points = [self._point("swim"), self._point("mcf"), self._point("art")]
+        pooled = Runner(jobs=2, cache_dir=None, sanitize=True)
+        stats = pooled.run_points(points)
+        assert pooled.simulated == 3
+        inline = Runner(jobs=1, cache_dir=None).run_points(points)
+        assert [s.to_dict() for s in stats] == [s.to_dict() for s in inline]
+
+    def test_sanitizer_failure_is_fatal_without_retries(self, monkeypatch):
+        def explode(point, attempt=0, obs=None, sanitize=False):
+            raise SanitizerError(
+                "seeded", cycle=7.0, component="cache:l2", event="fill"
+            )
+
+        monkeypatch.setattr(runner_module, "execute_point", explode)
+        runner = Runner(
+            jobs=1, cache_dir=None, sanitize=True, keep_going=True, max_retries=2
+        )
+        stats = runner.run_points([self._point()])
+        assert len(stats) == 1
+        assert runner.retries == 0  # deterministic: no retry can help
+        assert len(runner.failures) == 1
+        failure = runner.failures[0]
+        assert failure.kind == "sanitizer"
+        assert failure.fatal
+        assert "cycle=7" in failure.message
+        assert "cache:l2" in failure.message
