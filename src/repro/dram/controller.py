@@ -75,10 +75,14 @@ class MemoryController:
         self.block_bytes = block_bytes
         self._block_packets = dram.transfer_packets(block_bytes)
         self._packet_time = core.ns_to_cycles(dram.part.t_packet_ns)
-        #: minimum idle headroom before a prefetch may issue: one packet
-        #: keeps a just-arriving demand's column slot clear; a couple
-        #: more keeps speculative traffic out of dense demand streams.
-        self._idle_guard = 2 * self._packet_time
+        #: minimum idle headroom before a prefetch may issue: exactly one
+        #: command-packet time, so a prefetch granted the channel always
+        #: finishes its column command before the deadline and a
+        #: just-arriving demand's command slot stays clear.  The guard is
+        #: applied in exactly one place — :meth:`_drain_prefetches` —
+        #: and every caller passes the raw demand-arrival time as the
+        #: deadline.
+        self._idle_guard = self._packet_time
         self.prefetcher: Optional[RegionPrefetcher] = None
         self._scheduled = True
         if prefetch is not None and prefetch.enabled:
@@ -118,9 +122,12 @@ class MemoryController:
 
         The idle interval leading up to the miss is made available to
         the prefetcher first, minus one command-packet time: the access
-        prioritizer would not start a prefetch whose command slot (or
-        data packet) the arriving demand needs, so the engine stops one
-        packet short and the demand's column command lands unimpeded.
+        prioritizer would not start a prefetch whose command slot the
+        arriving demand needs, so the engine stops one packet short and
+        the demand's column command lands unimpeded.  The one-packet
+        guard is applied inside :meth:`_drain_prefetches` (and only
+        there); ``deadline`` is the raw arrival time, exactly as in
+        :meth:`advance` and :meth:`finish`.
         """
         if self._san is not None:
             # The demand is waiting from ``time`` until its channel
@@ -129,7 +136,7 @@ class MemoryController:
             # below start strictly earlier, so they pass.)
             self._san.demand_arriving(time, "demand")
         if self.prefetcher is not None and self._scheduled:
-            self._drain_prefetches(deadline=time - self._idle_guard)
+            self._drain_prefetches(deadline=time)
         coords = self.mapping.translate(addr)
         _, completion = self.channel.access(
             time, coords, self._block_packets, is_write=False, cls=self.stats.dram_reads
@@ -195,10 +202,19 @@ class MemoryController:
         demand arrives.  A prefetch whose transfer is still in flight
         when that demand arrives delays it; that is the only contention
         scheduled prefetching adds (Section 4.2).
+
+        **Idle-guard policy.**  ``deadline`` is the raw arrival time of
+        the next demand (or the current clock, for :meth:`advance` /
+        :meth:`finish` drains).  The one-command-packet idle guard is
+        subtracted *here and nowhere else*: a prefetch issues only while
+        ``command_issue_time() <= deadline - t_packet``, so the engine
+        stops exactly one packet time short of the deadline and the
+        demand's own column command slot is never taken.  Callers must
+        not pre-subtract the guard from ``deadline``.
         """
         while True:
             start = self.channel.command_issue_time()
-            if start + self._idle_guard > deadline + self._packet_time:
+            if start + self._idle_guard > deadline:
                 return
             if self._issue_prefetch(start) is None:
                 return

@@ -22,6 +22,12 @@ experiments from whatever points succeeded instead of aborting.  Every
 failure event is summarized in an end-of-run report on stderr.
 ``Ctrl-C`` terminates the workers, keeps everything already cached,
 and exits with status 130.
+
+For ad-hoc sweeps outside the paper's fixed experiments — or to share
+one result cache between many clients — ``repro-serve``
+(:mod:`repro.service.cli`) exposes the same runner as an async HTTP
+job API; point it at the same ``--cache-dir`` and the two fronts
+never simulate the same point twice.
 """
 
 from __future__ import annotations

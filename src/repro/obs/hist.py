@@ -89,6 +89,12 @@ class LatencyHistogram:
         if not self.total:
             return 0.0
         rank = fraction * self.total
+        if rank == 0:
+            # Zero rank is a floor, not a bucket: returning the upper
+            # bound of the lowest occupied bucket would report p0 *above*
+            # recorded samples.  Return the exact minimum instead, so
+            # percentile(0) <= every other percentile always holds.
+            return self.min
         seen = 0
         for index in sorted(self.counts):
             seen += self.counts[index]

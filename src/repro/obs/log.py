@@ -87,9 +87,16 @@ def get_logger(name: str) -> Logger:
 
 
 class JsonlSink:
-    """Append-structured-records-to-a-file sink (one JSON object/line)."""
+    """Append-structured-records-to-a-file sink (one JSON object/line).
 
-    def __init__(self, target: Union[str, Path, TextIO]) -> None:
+    ``mode`` is ``"w"`` (truncate — per-run telemetry like the runner's
+    run log) or ``"a"`` (append — durable journals that must accumulate
+    across process restarts, e.g. the service job queue).
+    """
+
+    def __init__(self, target: Union[str, Path, TextIO], mode: str = "w") -> None:
+        if mode not in ("w", "a"):
+            raise ValueError(f"mode must be 'w' or 'a', got {mode!r}")
         self.path: Optional[Path]
         if hasattr(target, "write"):
             self.path = None
@@ -99,7 +106,7 @@ class JsonlSink:
             self.path = Path(target)
             if self.path.parent and not self.path.parent.exists():
                 self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._stream = open(self.path, "w", encoding="utf-8")
+            self._stream = open(self.path, mode, encoding="utf-8")
             self._owns_stream = True
 
     def event(self, event: str, **fields: object) -> None:

@@ -69,11 +69,23 @@ class ResultCache:
                 pass
             raise
 
+    def _readable(self, path: Path) -> bool:
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                json.load(handle)
+        except (OSError, ValueError):
+            return False
+        return True
+
     def __contains__(self, key: str) -> bool:
-        return self._path(key).is_file()
+        """Membership means "readable payload", exactly as :meth:`get`
+        defines a hit — a torn or corrupt file is not *in* the cache,
+        it is a miss waiting to be overwritten."""
+        return self._readable(self._path(key))
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("??/*.json"))
+        """Number of entries :meth:`get` would actually serve."""
+        return sum(1 for path in self.root.glob("??/*.json") if self._readable(path))
 
     def clear(self) -> int:
         """Delete every cached entry; returns how many were removed."""

@@ -1,0 +1,47 @@
+"""Simulation-as-a-service: an async job API over :mod:`repro.runner`.
+
+The service turns the batch reproduction into a traffic-serving system:
+
+* :mod:`repro.service.schema` — the validation-first request contract
+  (:class:`SweepRequest`): malformed sweeps are rejected upfront with
+  actionable, field-addressed errors, and every accepted point is keyed
+  by ``SystemConfig.digest()`` exactly like the runner's result cache;
+* :mod:`repro.service.queue` — a persistent priority job queue whose
+  JSONL journal replays after a restart, so no accepted job is ever
+  lost mid-batch;
+* :mod:`repro.service.dedup` — the content-addressed result store
+  shared across tenants, with single-flight deduplication so identical
+  points are computed exactly once no matter how many concurrent
+  submissions want them;
+* :mod:`repro.service.engine` — the asyncio execution engine tying the
+  three together (priority dispatch, bounded workers, bounded retries
+  reusing the runner's :class:`~repro.runner.FailureRecord` taxonomy);
+* :mod:`repro.service.server` / :mod:`repro.service.client` — a
+  stdlib-only asyncio HTTP API (submit sweep → job id → poll / stream)
+  and the matching blocking client;
+* :mod:`repro.service.cli` — the ``repro-serve`` entry point (serve,
+  submit, status, wait, smoke).
+
+Statistics served by the service are field-for-field identical to what
+:meth:`repro.runner.Runner.run_points` returns for the same points —
+both funnel through :func:`repro.runner.worker.execute_point` and the
+same ``SimStats`` round trip.
+"""
+
+from repro.service.dedup import SharedResultStore, SingleFlight
+from repro.service.engine import ServiceConfig, SimulationService
+from repro.service.queue import Job, JobQueue, JobState
+from repro.service.schema import SchemaError, SweepRequest, parse_sweep_request
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "JobState",
+    "SchemaError",
+    "ServiceConfig",
+    "SharedResultStore",
+    "SimulationService",
+    "SingleFlight",
+    "SweepRequest",
+    "parse_sweep_request",
+]

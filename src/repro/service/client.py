@@ -1,0 +1,120 @@
+"""Blocking HTTP client for the simulation service.
+
+Thin ``urllib`` wrapper matching the server's routes one-for-one, for
+scripts, tests, and the ``repro-serve`` CLI.  Validation failures come
+back as :class:`ServiceError` carrying the server's field-addressed
+error list, so a misspelled config override reads the same whether the
+request was made in-process or over the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: Dict[str, object]) -> None:
+        self.status = status
+        self.payload = payload
+        detail = payload.get("error", "error")
+        errors = payload.get("errors")
+        if isinstance(errors, list) and errors:
+            lines = "; ".join(
+                f"{e.get('field')}: {e.get('message')}" for e in errors
+            )
+            detail = f"{detail} — {lines}"
+        super().__init__(f"HTTP {status}: {detail}")
+
+
+class ServiceClient:
+    """Talk to one service instance at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read())
+            except ValueError:
+                payload = {"error": exc.reason}
+            raise ServiceError(exc.code, payload) from exc
+
+    # -- routes ------------------------------------------------------------
+
+    def healthy(self) -> bool:
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except (ServiceError, OSError):
+            return False
+
+    def contract(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/contract")
+
+    def stats(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/stats")
+
+    def submit(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """POST a sweep; returns the job summary (raises on 400)."""
+        return self._request("POST", "/v1/sweeps", payload)
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return list(self._request("GET", "/v1/jobs")["jobs"])
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll: float = 0.2
+    ) -> Dict[str, object]:
+        """Poll until the job is terminal; returns the final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status["state"] in ("completed", "failed", "cancelled"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} "
+                    f"({status['completed']}/{status['points']} points) "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(poll)
+
+    def stream(self, job_id: str) -> Iterator[Dict[str, object]]:
+        """Yield Server-Sent progress events until the job is terminal."""
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/jobs/{job_id}/stream"
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+            for raw in resp:
+                line = raw.decode("utf-8").strip()
+                if line.startswith("data: "):
+                    yield json.loads(line[len("data: "):])

@@ -1,0 +1,145 @@
+"""Shared result store with single-flight deduplication.
+
+The runner's content-addressed :class:`~repro.runner.cache.ResultCache`
+is promoted here to a *global* store shared by every tenant of the
+service: a point's statistics are computed at most once, no matter how
+many concurrent jobs contain it.
+
+Three layers, cheapest first:
+
+1. an in-memory memo of every payload this process has resolved (the
+   same role as the runner's ``_memo``);
+2. the on-disk :class:`ResultCache`, shared across restarts and with
+   any batch runs pointed at the same directory — membership means
+   "readable payload", so a torn entry recomputes instead of serving
+   garbage;
+3. **single-flight**: when the point truly must be simulated, the first
+   asker becomes the *leader* and runs the computation; every
+   concurrent asker for the same key becomes a *follower* awaiting the
+   leader's future.  Leaders run in an executor so the event loop never
+   blocks on a simulation.
+
+The single-flight table is keyed by the same content hash as the cache
+(:meth:`SimPoint.cache_key`), so "identical point" has exactly one
+definition across the whole system.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, Optional
+
+from repro.runner.cache import ResultCache
+
+__all__ = ["SharedResultStore", "SingleFlight"]
+
+
+class SharedResultStore:
+    """Memo + optional on-disk cache, with hit/miss accounting."""
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self._memo: Dict[str, Dict[str, object]] = {}
+        self.memo_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.cache_disabled_reason: Optional[str] = None
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """Stored payload for ``key`` or None; misses are counted once
+        per lookup, hits at the cheapest layer that served them."""
+        payload = self._memo.get(key)
+        if payload is not None:
+            self.memo_hits += 1
+            return payload
+        if self.cache is not None:
+            entry = self.cache.get(key)
+            if entry is not None and "stats" in entry:
+                self._memo[key] = entry["stats"]
+                self.disk_hits += 1
+                return entry["stats"]
+        self.misses += 1
+        return None
+
+    def put(self, key: str, stats_dict: Dict[str, object], meta: Dict[str, object]) -> None:
+        """Record a freshly computed payload in every layer.
+
+        A failing disk write degrades to memo-only (the runner's
+        policy): the service keeps serving, persistence stops, and the
+        reason is surfaced in the stats endpoint.
+        """
+        self._memo[key] = stats_dict
+        if self.cache is not None:
+            try:
+                self.cache.put(key, {**meta, "key": key, "stats": stats_dict})
+            except OSError as exc:
+                self.cache = None
+                self.cache_disabled_reason = str(exc)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "memo_entries": len(self._memo),
+            "memo_hits": self.memo_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "cache_dir": str(self.cache.root) if self.cache else None,
+            "cache_disabled": self.cache_disabled_reason,
+        }
+
+
+class SingleFlight:
+    """Per-key computation collapsing for one asyncio event loop.
+
+    ``run(key, compute)`` returns the computed value; concurrent calls
+    with the same key while a computation is in flight share the one
+    result.  The winner's future is removed once resolved, so a *later*
+    call recomputes (the store above is what makes later calls cheap).
+
+    Failures propagate to every waiter of that flight — each follower
+    sees the same exception the leader hit — and the key is cleared so
+    a retry starts a fresh flight.
+    """
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, "asyncio.Future"] = {}
+        self.leaders = 0
+        self.followers = 0
+
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    def is_inflight(self, key: str) -> bool:
+        """True while a flight for ``key`` is currently computing."""
+        return key in self._inflight
+
+    async def run(
+        self, key: str, compute: Callable[[], Awaitable[object]]
+    ) -> object:
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.followers += 1
+            return await asyncio.shield(existing)
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        self._inflight[key] = future
+        self.leaders += 1
+        try:
+            value = await compute()
+        except BaseException as exc:
+            future.set_exception(exc)
+            # a follower may or may not be awaiting; either way the
+            # exception is considered delivered to the flight.
+            future.exception()
+            raise
+        else:
+            future.set_result(value)
+            return value
+        finally:
+            self._inflight.pop(key, None)
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "leaders": self.leaders,
+            "followers": self.followers,
+            "inflight": self.inflight(),
+        }

@@ -1,0 +1,401 @@
+"""The asyncio execution engine behind the simulation service.
+
+:class:`SimulationService` ties the contract, the queue, and the shared
+store together:
+
+* accepted sweeps (already validated by :mod:`repro.service.schema`)
+  enter the persistent :class:`~repro.service.queue.JobQueue`;
+* ``job_concurrency`` dispatcher tasks drain it in priority order;
+* each job's points resolve concurrently through the
+  :class:`~repro.service.dedup.SharedResultStore` and, on a true miss,
+  :class:`~repro.service.dedup.SingleFlight` — the winning flight runs
+  :func:`repro.runner.worker.execute_point` in a thread-pool executor
+  (the same function behind ``Runner.run_points``, so service results
+  are field-for-field identical to batch results);
+* failures follow the runner's policy: bounded retries with
+  deterministic keyed backoff (:func:`repro.runner.backoff_delay`),
+  :class:`~repro.runner.FailureRecord` entries for every attempt, and
+  sanitizer-style immediate fatality is preserved for deterministic
+  errors.
+
+Telemetry goes to an optional run log with the runner's own event
+vocabulary (``point-started`` / ``point-completed`` / ``point-retried``
+/ ``point-failed``) plus the service-level events ``job-submitted``,
+``job-completed``, ``point-cache-hit`` and ``point-deduped`` — so
+"this point was computed exactly once" is directly checkable by
+counting ``point-completed`` records per key.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import AsyncIterator, Dict, List, Optional
+
+from repro import __version__
+from repro.obs.log import JsonlSink, get_logger
+from repro.runner import RESULT_VERSION, FailureRecord, SimPoint
+from repro.runner.runner import backoff_delay
+from repro.runner.worker import execute_point
+from repro.sanitize.errors import SanitizerError
+from repro.service.dedup import SharedResultStore, SingleFlight
+from repro.service.queue import Job, JobQueue, JobState
+from repro.service.schema import SweepRequest, parse_sweep_request
+
+__all__ = ["PointComputeError", "ServiceConfig", "SimulationService"]
+
+_log = get_logger("repro.service")
+
+
+class PointComputeError(RuntimeError):
+    """A point exhausted its retry budget (or hit a deterministic error).
+
+    Carries the failure records of every attempt the flight made;
+    follower jobs sharing the flight receive the same exception.
+    """
+
+    def __init__(self, point: SimPoint, key: str, records: List[FailureRecord]) -> None:
+        self.point = point
+        self.key = key
+        self.records = records
+        last = records[-1] if records else None
+        detail = f"{last.kind}: {last.message}" if last else "unknown failure"
+        super().__init__(f"point {point.label()} failed permanently — {detail}")
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs for one service instance."""
+
+    #: JSONL journal backing the persistent job queue.
+    journal_path: str
+    #: shared on-disk result store; None = memo-only (no persistence).
+    cache_dir: Optional[str] = None
+    #: simulation threads (one point simulates per thread at a time).
+    workers: int = 2
+    #: jobs dispatched concurrently; defaults to ``workers``.
+    job_concurrency: Optional[int] = None
+    #: failed attempts retried per point (the runner's default).
+    max_retries: int = 2
+    #: base seconds for the deterministic keyed backoff schedule.
+    retry_backoff: float = 0.05
+    #: optional JSONL telemetry sink (runner-compatible event names).
+    run_log: Optional[JsonlSink] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.job_concurrency is None:
+            self.job_concurrency = self.workers
+        if self.job_concurrency < 1:
+            raise ValueError(
+                f"job_concurrency must be >= 1, got {self.job_concurrency}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+
+
+class SimulationService:
+    """Long-lived engine: submit → queue → dedup → simulate → results."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.queue = JobQueue(config.journal_path)
+        self.store = SharedResultStore(config.cache_dir)
+        self.flight = SingleFlight()
+        self.run_log = config.run_log
+        self.simulated = 0
+        self.sim_seconds = 0.0
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._dispatchers: List["asyncio.Task"] = []
+        self._wake: Optional[asyncio.Event] = None
+        self._progress: Optional[asyncio.Condition] = None
+        self._stopping = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the dispatchers; resumes any journal-recovered jobs."""
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-sim"
+        )
+        self._wake = asyncio.Event()
+        self._progress = asyncio.Condition()
+        self._stopping = False
+        self._dispatchers = [
+            asyncio.create_task(self._dispatch_loop(), name=f"dispatcher-{i}")
+            for i in range(self.config.job_concurrency)
+        ]
+        recovered = self.queue.recovered_job_ids
+        if recovered:
+            _log.info(
+                f"[service] recovered {len(recovered)} unfinished job(s) "
+                f"from {self.queue.journal_path}"
+            )
+            self._wake.set()
+
+    async def stop(self) -> None:
+        """Drain nothing: stop dispatchers, release the executor."""
+        self._stopping = True
+        for task in self._dispatchers:
+            task.cancel()
+        for task in self._dispatchers:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._dispatchers = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        self.queue.close()
+        if self.run_log is not None:
+            self.run_log.close()
+
+    # -- submission --------------------------------------------------------
+
+    def submit_payload(self, payload: Dict[str, object]) -> Job:
+        """Validate and enqueue one raw submission.
+
+        Raises :class:`~repro.service.schema.SchemaError` on a
+        malformed payload — nothing invalid ever reaches the queue.
+        """
+        request = parse_sweep_request(payload)
+        return self.submit(request)
+
+    def submit(self, request: SweepRequest) -> Job:
+        job = self.queue.submit(request)
+        self._log(
+            "job-submitted",
+            id=job.id,
+            priority=job.priority,
+            points=job.total_points,
+        )
+        if self._wake is not None:
+            self._wake.set()
+        return job
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        assert self._wake is not None
+        while not self._stopping:
+            job = self.queue.pop()
+            if job is None:
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            self._wake.set()  # more jobs may be queued; keep siblings awake
+            await self._run_job(job)
+
+    async def _run_job(self, job: Job) -> None:
+        results = await asyncio.gather(
+            *(
+                self._resolve_point(job, point, key)
+                for point, key in zip(job.points, job.keys)
+            ),
+            return_exceptions=True,
+        )
+        errors = [r for r in results if isinstance(r, BaseException)]
+        async with self._progress:
+            if errors:
+                first = errors[0]
+                if isinstance(first, PointComputeError):
+                    message = str(first)
+                else:
+                    message = f"{type(first).__name__}: {first}"
+                self.queue.fail(job, message, job.failures)
+                self._log("job-failed", id=job.id, message=message)
+            else:
+                self.queue.complete(job)
+                self._log("job-completed", id=job.id)
+            self._progress.notify_all()
+
+    async def _resolve_point(self, job: Job, point: SimPoint, key: str) -> None:
+        payload = self.store.get(key)
+        if payload is not None:
+            self._log("point-cache-hit", label=point.label(), key=key, id=job.id)
+            await self._mark_done(job, key)
+            return
+        if self.flight.is_inflight(key):
+            self._log("point-deduped", label=point.label(), key=key, id=job.id)
+        try:
+            await self.flight.run(key, lambda: self._compute(job, point, key))
+        except PointComputeError as exc:
+            # the leader's _compute already appended its records to its
+            # own job; follower jobs copy the shared flight's trail.
+            if not any(f.get("key") == key for f in job.failures):
+                job.failures.extend(r.to_dict() for r in exc.records)
+            raise
+        await self._mark_done(job, key)
+
+    async def _mark_done(self, job: Job, key: str) -> None:
+        async with self._progress:
+            self.queue.point_completed(job, key)
+            self._progress.notify_all()
+
+    async def _compute(self, job: Job, point: SimPoint, key: str) -> None:
+        """Leader path: simulate with bounded retries, then publish."""
+        assert self._executor is not None
+        loop = asyncio.get_running_loop()
+        records: List[FailureRecord] = []
+        attempt = 0
+        label = point.label()
+        while True:
+            self._log("point-started", label=label, key=key, attempt=attempt)
+            try:
+                stats_dict, wall = await loop.run_in_executor(
+                    self._executor, execute_point, point, attempt
+                )
+            except (asyncio.CancelledError, KeyboardInterrupt):
+                raise
+            except BaseException as exc:
+                if isinstance(exc, SanitizerError):
+                    kind = "sanitizer"
+                elif isinstance(exc, MemoryError):
+                    kind = "oom"
+                else:
+                    kind = "crash"
+                # sanitizer violations are deterministic: retrying one
+                # can only reproduce it (the runner's policy).
+                fatal = attempt >= self.config.max_retries or kind == "sanitizer"
+                record = FailureRecord(
+                    label=label,
+                    key=key,
+                    kind=kind,
+                    attempt=attempt,
+                    message=f"{type(exc).__name__}: {exc}",
+                    fatal=fatal,
+                )
+                records.append(record)
+                job.failures.append(record.to_dict())
+                if fatal:
+                    self._log(
+                        "point-failed", label=label, key=key, attempt=attempt,
+                        kind=kind, message=record.message,
+                    )
+                    raise PointComputeError(point, key, records) from exc
+                attempt += 1
+                self._log(
+                    "point-retried", label=label, key=key, attempt=attempt,
+                    kind=kind, message=record.message,
+                )
+                await asyncio.sleep(
+                    backoff_delay(key, attempt, self.config.retry_backoff)
+                )
+                continue
+            break
+        self.simulated += 1
+        self.sim_seconds += wall
+        self.store.put(
+            key,
+            stats_dict,
+            {
+                "benchmark": point.benchmark,
+                "config_digest": point.config.digest(),
+                "memory_refs": point.memory_refs,
+                "seed": point.seed,
+                "result_version": RESULT_VERSION,
+                "repro_version": __version__,
+                "wall_seconds": wall,
+            },
+        )
+        self._log(
+            "point-completed", label=label, key=key, attempt=attempt,
+            duration=round(wall, 6),
+        )
+
+    # -- observation -------------------------------------------------------
+
+    def job(self, job_id: str) -> Optional[Job]:
+        return self.queue.jobs.get(job_id)
+
+    def job_status(self, job_id: str) -> Optional[Dict[str, object]]:
+        """Poll response: summary plus per-point results when available."""
+        job = self.queue.jobs.get(job_id)
+        if job is None:
+            return None
+        status = job.summary()
+        if job.state == JobState.COMPLETED:
+            status["results"] = self.results(job)
+        return status
+
+    def results(self, job: Job) -> List[Dict[str, object]]:
+        """Per-point results in the sweep's stable point order."""
+        out = []
+        for point, key in zip(job.points, job.keys):
+            stats = self.store.get(key)
+            out.append(
+                {
+                    "benchmark": point.benchmark,
+                    "config_digest": point.config.digest(),
+                    "memory_refs": point.memory_refs,
+                    "seed": point.seed,
+                    "key": key,
+                    "stats": stats,
+                }
+            )
+        return out
+
+    async def watch(self, job_id: str) -> AsyncIterator[Dict[str, object]]:
+        """Progress events for one job until it reaches a terminal state.
+
+        Yields ``{"type": "progress", ...}`` after every newly completed
+        point and a final ``{"type": "job", "state": ...}``; starts with
+        a snapshot so late subscribers still see current progress.
+        """
+        assert self._progress is not None
+        job = self.queue.jobs.get(job_id)
+        if job is None:
+            return
+        seen = -1
+        while True:
+            done = job.completed_points
+            if done != seen:
+                seen = done
+                yield {
+                    "type": "progress",
+                    "id": job.id,
+                    "completed": done,
+                    "total": job.total_points,
+                }
+            if job.state in JobState.TERMINAL:
+                yield {"type": "job", "id": job.id, "state": job.state}
+                return
+            async with self._progress:
+                # re-check under the lock: every transition notifies
+                # while holding it, so this cannot miss a wakeup.
+                if job.completed_points == seen and job.state not in JobState.TERMINAL:
+                    await self._progress.wait()
+
+    async def wait_for(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        """Block until ``job_id`` is terminal; returns the job."""
+
+        async def _drain() -> Job:
+            async for _ in self.watch(job_id):
+                pass
+            return self.queue.jobs[job_id]
+
+        return await asyncio.wait_for(_drain(), timeout)
+
+    def stats(self) -> Dict[str, object]:
+        """Service-level counters for ``GET /v1/stats``."""
+        jobs = self.queue.jobs.values()
+        by_state: Dict[str, int] = {}
+        for job in jobs:
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        return {
+            "version": __version__,
+            "jobs": by_state,
+            "points_simulated": self.simulated,
+            "sim_seconds": round(self.sim_seconds, 3),
+            "store": self.store.summary(),
+            "single_flight": self.flight.summary(),
+            "workers": self.config.workers,
+            "job_concurrency": self.config.job_concurrency,
+        }
+
+    def _log(self, event: str, **fields: object) -> None:
+        if self.run_log is not None:
+            self.run_log.event(event, **fields)

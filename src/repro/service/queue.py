@@ -1,0 +1,257 @@
+"""Persistent priority job queue with a JSONL journal.
+
+Every accepted sweep becomes a :class:`Job` whose full lifecycle is
+journaled through the same JSONL machinery as the runner's run log
+(:class:`repro.obs.log.JsonlSink`, append mode): ``job-submitted``
+carries the complete validated request payload, ``job-point-completed``
+records each finished point by its content-hash key, and a terminal
+``job-completed`` / ``job-failed`` / ``job-cancelled`` closes the job.
+
+Because the journal is the source of truth, a restarted service
+replays it (:meth:`JobQueue.recover`) and resumes exactly where it
+stopped: jobs that never reached a terminal state re-enter the queue
+at their original priority and submission order, and their already
+completed points are *not* re-simulated — point results live in the
+content-addressed shared store, which survives restarts on disk.
+
+Dispatch order is strict priority (lower number first; the range is
+validated by the schema), FIFO within a priority level.  Failures
+reuse the runner's :class:`~repro.runner.FailureRecord` taxonomy
+verbatim, so a service journal and a batch run log read the same way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Union
+
+from repro.obs.log import JsonlSink
+from repro.runner import SimPoint
+from repro.service.schema import SchemaError, SweepRequest, parse_sweep_request
+
+__all__ = ["Job", "JobQueue", "JobState"]
+
+
+class JobState:
+    """Lifecycle states; terminal states are never left."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    TERMINAL = (COMPLETED, FAILED, CANCELLED)
+
+
+@dataclass
+class Job:
+    """One accepted sweep and its progress."""
+
+    id: str
+    seq: int
+    priority: int
+    request: SweepRequest
+    payload: Dict[str, object]
+    points: List[SimPoint]
+    #: cache key per point, aligned with ``points``.
+    keys: List[str]
+    state: str = JobState.QUEUED
+    done_keys: Set[str] = field(default_factory=set)
+    #: :class:`repro.runner.FailureRecord` dicts, transient and fatal.
+    failures: List[Dict[str, object]] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def total_points(self) -> int:
+        return len(self.keys)
+
+    @property
+    def completed_points(self) -> int:
+        return sum(1 for key in self.keys if key in self.done_keys)
+
+    def summary(self) -> Dict[str, object]:
+        """Poll-response form (without per-point statistics)."""
+        out: Dict[str, object] = {
+            "id": self.id,
+            "state": self.state,
+            "priority": self.priority,
+            "points": self.total_points,
+            "completed": self.completed_points,
+            "benchmarks": list(self.request.benchmarks),
+            "memory_refs": self.request.memory_refs,
+            "seed": self.request.seed,
+        }
+        if self.request.tags:
+            out["tags"] = dict(self.request.tags)
+        if self.failures:
+            out["failures"] = list(self.failures)
+        if self.error:
+            out["error"] = self.error
+        return out
+
+
+def _job_id(seq: int, payload: Dict[str, object]) -> str:
+    """Stable, human-sortable id: submission order + request fingerprint."""
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    ).hexdigest()[:8]
+    return f"job-{seq:06d}-{digest}"
+
+
+class JobQueue:
+    """Priority queue of jobs, journaled to ``journal_path``.
+
+    All methods are synchronous and must be called from one thread (the
+    service's event loop); persistence is write-through — every state
+    transition is journaled before it is observable.
+    """
+
+    def __init__(self, journal_path: Union[str, Path]) -> None:
+        self.journal_path = Path(journal_path)
+        self.jobs: Dict[str, Job] = {}
+        self._heap: List = []  # (priority, seq, job id)
+        self._seq = 0
+        self._recovered: List[str] = []
+        if self.journal_path.exists():
+            self._replay()
+        self._journal = JsonlSink(self.journal_path, mode="a")
+
+    # -- recovery ----------------------------------------------------------
+
+    def _replay(self) -> None:
+        """Rebuild queue state from the journal; tolerate a torn tail.
+
+        A crash mid-write can leave a truncated final line; like the
+        result cache, an unreadable record is skipped rather than
+        poisoning recovery.
+        """
+        for line in self.journal_path.read_text(encoding="utf-8").splitlines():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            event = record.get("event")
+            if event == "job-submitted":
+                try:
+                    request = parse_sweep_request(record["request"])
+                except (SchemaError, KeyError):
+                    continue  # journal from an incompatible schema version
+                seq = int(record.get("seq", self._seq))
+                self._seq = max(self._seq, seq + 1)
+                job = self._make_job(
+                    request, dict(record["request"]), seq, record.get("id")
+                )
+                self.jobs[job.id] = job
+            else:
+                job = self.jobs.get(record.get("id", ""))
+                if job is None:
+                    continue
+                if event == "job-point-completed":
+                    job.done_keys.add(record.get("key", ""))
+                elif event == "job-started":
+                    job.state = JobState.RUNNING
+                elif event == "job-completed":
+                    job.state = JobState.COMPLETED
+                elif event == "job-failed":
+                    job.state = JobState.FAILED
+                    job.error = record.get("message")
+                    job.failures = list(record.get("failures", []))
+                elif event == "job-cancelled":
+                    job.state = JobState.CANCELLED
+        # anything non-terminal goes back on the queue: a RUNNING job at
+        # crash time restarts (already-done points are served from the
+        # shared store, so only the remainder re-simulates).
+        for job in sorted(self.jobs.values(), key=lambda j: j.seq):
+            if job.state not in JobState.TERMINAL:
+                job.state = JobState.QUEUED
+                heapq.heappush(self._heap, (job.priority, job.seq, job.id))
+                self._recovered.append(job.id)
+
+    @property
+    def recovered_job_ids(self) -> List[str]:
+        """Jobs re-queued by journal replay (empty on a fresh start)."""
+        return list(self._recovered)
+
+    def _make_job(
+        self,
+        request: SweepRequest,
+        payload: Dict[str, object],
+        seq: int,
+        job_id: Optional[str] = None,
+    ) -> Job:
+        points = request.points()
+        return Job(
+            id=job_id or _job_id(seq, payload),
+            seq=seq,
+            priority=request.priority,
+            request=request,
+            payload=payload,
+            points=points,
+            keys=[point.cache_key() for point in points],
+        )
+
+    # -- submission and dispatch -------------------------------------------
+
+    def submit(self, request: SweepRequest) -> Job:
+        """Accept a validated request; journal it; queue it."""
+        payload = request.to_dict()
+        job = self._make_job(request, payload, self._seq)
+        self._seq += 1
+        self.jobs[job.id] = job
+        self._journal.event(
+            "job-submitted", id=job.id, seq=job.seq, priority=job.priority,
+            request=payload,
+        )
+        heapq.heappush(self._heap, (job.priority, job.seq, job.id))
+        return job
+
+    def pop(self) -> Optional[Job]:
+        """Highest-priority queued job, marked running; None when idle."""
+        while self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            job = self.jobs[job_id]
+            if job.state != JobState.QUEUED:
+                continue  # cancelled while queued
+            job.state = JobState.RUNNING
+            self._journal.event("job-started", id=job.id)
+            return job
+        return None
+
+    def pending(self) -> int:
+        return sum(1 for job in self.jobs.values() if job.state == JobState.QUEUED)
+
+    # -- progress ----------------------------------------------------------
+
+    def point_completed(self, job: Job, key: str) -> None:
+        if key not in job.done_keys:
+            job.done_keys.add(key)
+            self._journal.event("job-point-completed", id=job.id, key=key)
+
+    def complete(self, job: Job) -> None:
+        job.state = JobState.COMPLETED
+        self._journal.event("job-completed", id=job.id)
+
+    def fail(self, job: Job, message: str, failures: List[Dict[str, object]]) -> None:
+        job.state = JobState.FAILED
+        job.error = message
+        job.failures = failures
+        self._journal.event(
+            "job-failed", id=job.id, message=message, failures=failures
+        )
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a *queued* job; running/terminal jobs are left alone."""
+        job = self.jobs.get(job_id)
+        if job is None or job.state != JobState.QUEUED:
+            return False
+        job.state = JobState.CANCELLED
+        self._journal.event("job-cancelled", id=job.id)
+        return True
+
+    def close(self) -> None:
+        self._journal.close()

@@ -1,0 +1,244 @@
+"""Stdlib-only asyncio HTTP front end for the simulation service.
+
+A deliberately small HTTP/1.1 implementation over
+``asyncio.start_server`` — no framework, no dependency beyond the
+standard library, matching the project's constraint that everything
+runs in the simulator's own minimal environment.
+
+Routes (all JSON unless noted):
+
+========  ==========================  =====================================
+method    path                        meaning
+========  ==========================  =====================================
+GET       ``/healthz``                liveness probe
+GET       ``/v1/contract``            machine-readable request contract
+GET       ``/v1/stats``               service counters (queue/store/flight)
+POST      ``/v1/sweeps``              submit a sweep → ``202`` + job id,
+                                      or ``400`` with field-addressed errors
+GET       ``/v1/jobs``                all job summaries
+GET       ``/v1/jobs/<id>``           one job; includes per-point results
+                                      once completed
+GET       ``/v1/jobs/<id>/stream``    Server-Sent Events progress stream
+DELETE    ``/v1/jobs/<id>``           cancel a *queued* job
+========  ==========================  =====================================
+
+Every connection handles one request and closes — the clients here are
+pollers and scripts, not browsers, and one-shot connections keep the
+server trivially correct.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.obs.log import get_logger
+from repro.service.engine import SimulationService
+from repro.service.schema import SchemaError, contract_description
+
+__all__ = ["ServiceServer"]
+
+_log = get_logger("repro.service")
+
+#: refuse request bodies beyond this size (a full 512-point sweep with
+#: generous config payloads fits in a few tens of kilobytes).
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+def _response(
+    status: int, payload: Dict[str, object], extra_headers: str = ""
+) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"{extra_headers}"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+class ServiceServer:
+    """Bind a :class:`SimulationService` to a TCP port."""
+
+    def __init__(
+        self, service: SimulationService, host: str = "127.0.0.1", port: int = 8642
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def bound_port(self) -> int:
+        """The actual port (useful when constructed with ``port=0``)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self.bound_port
+        _log.info(f"[service] listening on http://{self.host}:{self.port}")
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                writer.write(_response(400, {"error": "malformed-request"}))
+            else:
+                method, path, body = request
+                if path.rstrip("/").endswith("/stream") and method == "GET":
+                    await self._stream(writer, path)
+                    return  # _stream closes the connection itself
+                writer.write(self._dispatch(method, path, body))
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # never kill the accept loop
+            _log.warning(f"[service] request failed: {type(exc).__name__}: {exc}")
+            try:
+                writer.write(
+                    _response(500, {"error": "internal", "message": str(exc)})
+                )
+                await writer.drain()
+            except ConnectionError:
+                pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Optional[Dict[str, object]]]]:
+        """Parse one request; None on anything malformed."""
+        try:
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=10.0
+            )
+        except (asyncio.LimitOverrunError, asyncio.TimeoutError):
+            return None
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            return None
+        method, target = parts[0].upper(), parts[1]
+        path = target.split("?", 1)[0]
+        headers = {}
+        for line in lines[1:]:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            return None
+        body: Optional[Dict[str, object]] = None
+        if length:
+            raw = await reader.readexactly(length)
+            try:
+                body = json.loads(raw)
+            except ValueError:
+                return None
+        return method, path, body
+
+    def _dispatch(
+        self, method: str, path: str, body: Optional[Dict[str, object]]
+    ) -> bytes:
+        path = path.rstrip("/") or "/"
+        if path == "/healthz" and method == "GET":
+            return _response(200, {"ok": True})
+        if path == "/v1/contract" and method == "GET":
+            return _response(200, contract_description())
+        if path == "/v1/stats" and method == "GET":
+            return _response(200, self.service.stats())
+        if path == "/v1/sweeps":
+            if method != "POST":
+                return _response(405, {"error": "method-not-allowed"})
+            if body is None:
+                return _response(
+                    400, {"error": "invalid-request",
+                          "errors": [{"field": "<root>",
+                                      "message": "a JSON body is required"}]}
+                )
+            try:
+                job = self.service.submit_payload(body)
+            except SchemaError as exc:
+                return _response(400, exc.to_dict())
+            return _response(202, job.summary())
+        if path == "/v1/jobs" and method == "GET":
+            return _response(
+                200,
+                {"jobs": [job.summary()
+                          for job in self.service.queue.jobs.values()]},
+            )
+        if path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/"):]
+            if method == "GET":
+                status = self.service.job_status(job_id)
+                if status is None:
+                    return _response(404, {"error": "no-such-job", "id": job_id})
+                return _response(200, status)
+            if method == "DELETE":
+                if job_id not in self.service.queue.jobs:
+                    return _response(404, {"error": "no-such-job", "id": job_id})
+                if self.service.queue.cancel(job_id):
+                    return _response(200, {"id": job_id, "state": "cancelled"})
+                return _response(
+                    409,
+                    {"error": "not-cancellable", "id": job_id,
+                     "state": self.service.queue.jobs[job_id].state},
+                )
+            return _response(405, {"error": "method-not-allowed"})
+        return _response(404, {"error": "no-such-route", "path": path})
+
+    async def _stream(self, writer: asyncio.StreamWriter, path: str) -> None:
+        """Server-Sent Events: one ``data:`` line per progress event."""
+        job_id = path.rstrip("/")[len("/v1/jobs/"):-len("/stream")].rstrip("/")
+        if self.service.queue.jobs.get(job_id) is None:
+            writer.write(_response(404, {"error": "no-such-job", "id": job_id}))
+            await writer.drain()
+            return
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        async for event in self.service.watch(job_id):
+            writer.write(f"data: {json.dumps(event)}\n\n".encode("utf-8"))
+            await writer.drain()

@@ -122,3 +122,53 @@ class TestFinish:
         before = stats.prefetches_issued
         mc.finish(200.0)  # tiny window: only a couple fit
         assert before <= stats.prefetches_issued < 63
+
+
+class TestIdleGuardPolicy:
+    """The one-command-packet idle guard is applied exactly once.
+
+    Regression tests for the double-applied guard: ``demand_fetch`` used
+    to pass ``deadline=time - idle_guard`` while ``_drain_prefetches``
+    subtracted headroom again, so the demand path reserved three packet
+    times where the docstring promises one, quietly shrinking prefetch
+    opportunity (Section 4.2 gives prefetches *all* idle time up to one
+    packet before the demand's own command slot).
+    """
+
+    def _primed(self):
+        """Controller with one queued region and a fully drained channel."""
+        mc, stats = make_controller(prefetch=pf_config())
+        mc.connect_l2(lambda addr, t: None, lambda addr: False)
+        # Queue the region without touching the channel: the demand that
+        # triggers it is modelled as having completed long ago.
+        mc.prefetcher.on_demand_miss(0x10000, now=0.0)
+        return mc, stats
+
+    def test_two_packet_idle_window_is_prefetched(self):
+        """An idle window of exactly two packet times fits a prefetch:
+        issue at t, command occupies [t, t+packet], one packet of guard
+        remains before the demand.  Pre-fix the demand path demanded
+        four packet times of headroom and issued nothing here."""
+        mc, stats = self._primed()
+        idle_start = mc.channel.command_issue_time()
+        mc.demand_fetch(idle_start + 2 * mc._packet_time, 0x800000)
+        assert stats.prefetches_issued >= 1
+
+    def test_sub_packet_headroom_is_left_alone(self):
+        """With less than one packet of guard available the prefetcher
+        stays off the channel — the demand's command slot is never
+        taken (this held both pre- and post-fix)."""
+        mc, stats = self._primed()
+        idle_start = mc.channel.command_issue_time()
+        mc.demand_fetch(idle_start + mc._packet_time - 1.0, 0x800000)
+        assert stats.prefetches_issued == 0
+
+    def test_demand_path_matches_advance_path(self):
+        """demand_fetch at time t must drain exactly what advance(t)
+        would have drained: one policy, one place."""
+        via_demand, stats_demand = self._primed()
+        via_advance, stats_advance = self._primed()
+        deadline = via_demand.channel.command_issue_time() + 10_000.0
+        via_advance.advance(deadline)
+        via_demand.demand_fetch(deadline, 0x800000)
+        assert stats_demand.prefetches_issued == stats_advance.prefetches_issued

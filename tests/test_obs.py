@@ -4,6 +4,8 @@ import json
 import math
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.obs import (
     JsonlSink,
@@ -71,7 +73,15 @@ class TestLatencyHistogram:
         assert hist.p50 == 2.0  # bucket of 1.0 is [1, 2)
         assert hist.p95 == 16.0  # bucket of 10.0 is [8, 16)
         assert hist.p99 == 16.0
-        assert hist.percentile(0.0) == 0.0 or hist.percentile(0.0) <= 2.0
+
+    def test_zero_rank_is_the_recorded_minimum(self):
+        """percentile(0.0) is a floor: the exact smallest sample, never
+        the upper bound of the lowest occupied bucket (which would sit
+        *above* every recorded value)."""
+        hist = LatencyHistogram()
+        hist.record_many([3.0, 10.0])
+        assert hist.percentile(0.0) == 3.0
+        assert hist.percentile(0.0) <= hist.p50
 
     def test_percentile_rejects_out_of_range(self):
         hist = LatencyHistogram()
@@ -232,3 +242,52 @@ class TestJsonlSink:
             sink.event("via-stream")
             sink.close()
         assert json.loads(path.read_text())["event"] == "via-stream"
+
+
+class TestPercentileProperties:
+    """Hypothesis properties for the percentile accessors.
+
+    ``percentile(0)`` is the exact recorded minimum; every other rank
+    returns the upper bound of its bucket, so the chain
+    ``p0 <= p50 <= p95 <= p99 <= percentile(1.0)`` must hold for any
+    sample set, and the recorded extremes bracket it from both sides.
+    """
+
+    @given(
+        st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=1e9,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_percentile_chain_is_monotone(self, samples):
+        hist = LatencyHistogram()
+        hist.record_many(samples)
+        p0 = hist.percentile(0.0)
+        assert p0 == hist.min == min(samples)
+        assert p0 <= hist.p50 <= hist.p95 <= hist.p99 <= hist.percentile(1.0)
+        assert hist.max <= hist.percentile(1.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=64,
+        ),
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=2,
+            max_size=8,
+        ),
+    )
+    def test_percentile_is_monotone_in_rank(self, samples, fractions):
+        hist = LatencyHistogram()
+        hist.record_many(samples)
+        ordered = sorted(fractions)
+        values = [hist.percentile(f) for f in ordered]
+        assert values == sorted(values)

@@ -153,6 +153,27 @@ class TestResultCache:
         path.write_text("{not json", encoding="utf-8")
         assert cache.get(key) is None
 
+    def test_membership_means_readable_payload(self, tmp_path):
+        """A torn entry that get() treats as a miss must not count as
+        present: ``in`` and ``len`` agree with ``get``, so "key in
+        cache" can never promise a payload that then fails to load."""
+        cache = ResultCache(tmp_path / "c")
+        good, torn = "ab" + "0" * 62, "cd" + "0" * 62
+        cache.put(good, {"x": 1})
+        cache.put(torn, {"stats": {"instructions": 3}})
+        path = tmp_path / "c" / torn[:2] / f"{torn}.json"
+        # tear the file mid-payload, as a crash between write and
+        # replace on a non-atomic filesystem would.
+        path.write_text(path.read_text(encoding="utf-8")[:12], encoding="utf-8")
+        assert cache.get(torn) is None
+        assert torn not in cache
+        assert good in cache
+        assert len(cache) == 1
+        # the torn entry is overwritten by the next store and counts again
+        cache.put(torn, {"x": 2})
+        assert torn in cache
+        assert len(cache) == 2
+
     def test_clear_empties_cache(self, tmp_path):
         cache = ResultCache(tmp_path / "c")
         cache.put("ee" + "0" * 62, {"x": 1})
