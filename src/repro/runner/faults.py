@@ -22,6 +22,27 @@ naming the failure to manufacture when it matches:
     the runner's cache write for the point raises :class:`OSError`,
     exercising the disk-full/read-only degradation path.
 
+The service (:mod:`repro.service`) extends the same plan with faults
+for the paths only a long-lived server has:
+
+``slow``
+    the worker sleeps ``hang_seconds`` *then simulates normally* — a
+    slow simulation that should stay under a well-tuned watchdog
+    (``hang`` is the same mechanic with a duration chosen to trip it);
+``journal-io``
+    a journal write raises :class:`OSError`; matched against the
+    journal *event name* (e.g. ``"job-point-completed"``) with
+    ``attempts`` counting occurrences of that event;
+``drop``
+    the HTTP server aborts the connection mid-request without writing
+    a response; matched against the request *path* with ``attempts``
+    counting requests to that path.
+
+Service-side faults are looked up through :func:`service_fault`, which
+reuses the ``(label, attempt)`` matching verbatim — the "label" is the
+event name or path and the "attempt" is the occurrence index, so a
+service fault schedule is exactly as deterministic as a worker one.
+
 Because a rule is a pure function of ``(label, attempt)`` — no
 counters, no RNG — the same plan produces the same faults in any
 process, under any scheduling, which is what lets the tests assert
@@ -55,13 +76,14 @@ __all__ = [
     "get_fault_plan",
     "maybe_inject",
     "cache_fault",
+    "service_fault",
 ]
 
 #: environment variable holding the active plan as JSON.
 ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
 
-#: the injectable failure modes.
-FAULT_KINDS = ("raise", "hang", "exit", "cache-io")
+#: the injectable failure modes (the last three are service-level).
+FAULT_KINDS = ("raise", "hang", "exit", "cache-io", "slow", "journal-io", "drop")
 
 #: exit status used by an injected worker death, chosen to be
 #: recognizable in a process table / waitpid status.
@@ -203,10 +225,10 @@ def maybe_inject(label: str, attempt: int) -> None:
     plan = get_fault_plan()
     if plan is None:
         return
-    spec = plan.find(label, attempt, kinds=("raise", "hang", "exit"))
+    spec = plan.find(label, attempt, kinds=("raise", "hang", "slow", "exit"))
     if spec is None:
         return
-    if spec.fault == "hang":
+    if spec.fault in ("hang", "slow"):
         time.sleep(spec.hang_seconds)
         return
     if spec.fault == "exit" and _in_worker_process():
@@ -222,3 +244,18 @@ def cache_fault(label: str, attempt: int) -> Optional[FaultSpec]:
     if plan is None:
         return None
     return plan.find(label, attempt, kinds=("cache-io",))
+
+
+def service_fault(kind: str, label: str, occurrence: int) -> Optional[FaultSpec]:
+    """The service-level spec of ``kind`` planned for this occurrence.
+
+    ``label`` is the journal event name (``journal-io``) or the request
+    path (``drop``); ``occurrence`` is the zero-based count of prior
+    matching events, taking the role ``attempt`` plays worker-side.
+    The caller owns the occurrence counter — this function stays a pure
+    lookup so the same plan fires identically in every process.
+    """
+    plan = get_fault_plan()
+    if plan is None:
+        return None
+    return plan.find(label, occurrence, kinds=(kind,))

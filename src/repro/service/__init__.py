@@ -15,7 +15,11 @@ The service turns the batch reproduction into a traffic-serving system:
   submissions want them;
 * :mod:`repro.service.engine` — the asyncio execution engine tying the
   three together (priority dispatch, bounded workers, bounded retries
-  reusing the runner's :class:`~repro.runner.FailureRecord` taxonomy);
+  reusing the runner's :class:`~repro.runner.FailureRecord` taxonomy),
+  hardened for production traffic: admission control with ``429`` +
+  ``Retry-After`` backpressure, per-point watchdog timeouts with a
+  circuit breaker on repeated hangs, cooperative cancellation of
+  running jobs, graceful drain on shutdown, and journal compaction;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — a
   stdlib-only asyncio HTTP API (submit sweep → job id → poll / stream)
   and the matching blocking client;
@@ -28,15 +32,23 @@ both funnel through :func:`repro.runner.worker.execute_point` and the
 same ``SimStats`` round trip.
 """
 
-from repro.service.dedup import SharedResultStore, SingleFlight
-from repro.service.engine import ServiceConfig, SimulationService
+from repro.service.dedup import FlightCancelled, SharedResultStore, SingleFlight
+from repro.service.engine import (
+    AdmissionError,
+    PointComputeError,
+    ServiceConfig,
+    SimulationService,
+)
 from repro.service.queue import Job, JobQueue, JobState
 from repro.service.schema import SchemaError, SweepRequest, parse_sweep_request
 
 __all__ = [
+    "AdmissionError",
+    "FlightCancelled",
     "Job",
     "JobQueue",
     "JobState",
+    "PointComputeError",
     "SchemaError",
     "ServiceConfig",
     "SharedResultStore",

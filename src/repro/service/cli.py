@@ -10,6 +10,16 @@ Subcommands:
   in-process service, submit a tiny sweep over real HTTP, wait for it,
   and verify the returned statistics are field-for-field identical to
   simulating the same points directly.  Exit 0 on success; used by CI.
+
+``serve`` is production-shaped: SIGTERM/SIGINT trigger a *graceful
+drain* (stop admitting, finish in-flight jobs up to
+``--drain-deadline`` seconds, re-queue the rest, journal a clean
+shutdown marker), and every robustness knob — admission caps, per-point
+watchdog, circuit breaker, journal compaction — is settable by flag or
+by a ``REPRO_SERVE_*`` environment variable (the flag wins).  See the
+"Operating the service" section of the README for the full table of
+knobs, the drain semantics, and the chaos-harness workflow that
+exercises them.
 """
 
 from __future__ import annotations
@@ -18,10 +28,11 @@ import argparse
 import asyncio
 import json
 import os
+import signal
 import sys
 import tempfile
 import threading
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, TypeVar
 
 from repro import __version__
 from repro.experiments.cli import default_cache_dir
@@ -30,6 +41,22 @@ from repro.service.engine import ServiceConfig, SimulationService
 from repro.service.server import ServiceServer
 
 __all__ = ["main"]
+
+_T = TypeVar("_T")
+
+
+def _env_default(name: str, cast: Callable[[str], _T], fallback: _T) -> _T:
+    """``REPRO_SERVE_<name>`` parsed with ``cast``, else ``fallback``."""
+    raw = os.environ.get(f"REPRO_SERVE_{name}")
+    if raw is None or raw == "":
+        return fallback
+    try:
+        return cast(raw)
+    except ValueError:
+        raise SystemExit(
+            f"repro-serve: invalid REPRO_SERVE_{name}={raw!r} "
+            f"(expected {cast.__name__})"
+        )
 
 
 def _add_url(parser: argparse.ArgumentParser) -> None:
@@ -51,6 +78,13 @@ def _build_service(args: argparse.Namespace) -> ServiceServer:
         workers=args.workers,
         max_retries=args.max_retries,
         run_log=run_log,
+        max_queued_jobs=args.max_queued_jobs,
+        max_queued_points=args.max_queued_points,
+        max_inflight_bytes=args.max_inflight_bytes,
+        point_timeout=args.point_timeout or None,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        journal_max_bytes=args.journal_max_bytes,
     )
     return ServiceServer(SimulationService(config), host=args.host, port=args.port)
 
@@ -60,18 +94,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def run() -> None:
         await server.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+
+        def request_shutdown(signame: str) -> None:
+            print(
+                f"repro-serve: {signame} received — draining "
+                f"(deadline {args.drain_deadline:.0f}s)",
+                file=sys.stderr,
+                flush=True,
+            )
+            stop.set()
+
+        installed = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, request_shutdown, sig.name)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or platform without signal support
         print(
             f"repro-serve {__version__} listening on "
             f"http://{server.host}:{server.port} "
             f"(journal: {args.journal})",
             flush=True,
         )
+        serve_task = asyncio.create_task(server.serve_forever())
+        stop_task = asyncio.create_task(stop.wait())
         try:
-            await server.serve_forever()
-        except asyncio.CancelledError:
-            pass
+            done, _ = await asyncio.wait(
+                {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if serve_task in done and serve_task.exception() is not None:
+                raise serve_task.exception()
         finally:
-            await server.stop()
+            for task in (serve_task, stop_task):
+                task.cancel()
+            await asyncio.gather(serve_task, stop_task, return_exceptions=True)
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+            await server.stop(drain=True, deadline=args.drain_deadline)
+            print("repro-serve: drained cleanly", file=sys.stderr, flush=True)
 
     try:
         asyncio.run(run())
@@ -148,6 +211,10 @@ class EphemeralServer:
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
         self._startup_error: Optional[BaseException] = None
+        #: set before leaving the context to exit via graceful drain
+        #: instead of the default hard stop (the chaos tests use this).
+        self.drain = False
+        self.drain_deadline: Optional[float] = None
 
     @property
     def url(self) -> str:
@@ -185,7 +252,9 @@ class EphemeralServer:
             try:
                 await self._stop_event.wait()
             finally:
-                await self.server.stop()
+                await self.server.stop(
+                    drain=self.drain, deadline=self.drain_deadline
+                )
 
         asyncio.run(run())
 
@@ -307,6 +376,54 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument(
         "--run-log", default=None, metavar="PATH",
         help="append JSONL telemetry (runner-compatible event names)",
+    )
+    serve.add_argument(
+        "--max-queued-jobs", type=int,
+        default=_env_default("MAX_QUEUED_JOBS", int, 64),
+        help="admission cap on queued jobs, 0 = unlimited "
+        "(default 64; env REPRO_SERVE_MAX_QUEUED_JOBS)",
+    )
+    serve.add_argument(
+        "--max-queued-points", type=int,
+        default=_env_default("MAX_QUEUED_POINTS", int, 4096),
+        help="admission cap on unresolved points, 0 = unlimited "
+        "(default 4096; env REPRO_SERVE_MAX_QUEUED_POINTS)",
+    )
+    serve.add_argument(
+        "--max-inflight-bytes", type=int,
+        default=_env_default("MAX_INFLIGHT_BYTES", int, 8 << 20),
+        help="admission cap on serialized request bytes, 0 = unlimited "
+        "(default 8 MiB; env REPRO_SERVE_MAX_INFLIGHT_BYTES)",
+    )
+    serve.add_argument(
+        "--point-timeout", type=float,
+        default=_env_default("POINT_TIMEOUT", float, 0.0),
+        help="per-point watchdog seconds, 0 disables "
+        "(default 0; env REPRO_SERVE_POINT_TIMEOUT)",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int,
+        default=_env_default("BREAKER_THRESHOLD", int, 3),
+        help="consecutive timeouts that trip the circuit breaker "
+        "(default 3; env REPRO_SERVE_BREAKER_THRESHOLD)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown", type=float,
+        default=_env_default("BREAKER_COOLDOWN", float, 30.0),
+        help="seconds a tripped key fast-fails before a half-open probe "
+        "(default 30; env REPRO_SERVE_BREAKER_COOLDOWN)",
+    )
+    serve.add_argument(
+        "--journal-max-bytes", type=int,
+        default=_env_default("JOURNAL_MAX_BYTES", int, 4 << 20),
+        help="journal size that triggers snapshot compaction, 0 disables "
+        "(default 4 MiB; env REPRO_SERVE_JOURNAL_MAX_BYTES)",
+    )
+    serve.add_argument(
+        "--drain-deadline", type=float,
+        default=_env_default("DRAIN_DEADLINE", float, 30.0),
+        help="seconds SIGTERM/SIGINT waits for in-flight jobs before "
+        "re-queueing them (default 30; env REPRO_SERVE_DRAIN_DEADLINE)",
     )
     serve.set_defaults(func=_cmd_serve)
 

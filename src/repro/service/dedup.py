@@ -31,7 +31,16 @@ from typing import Awaitable, Callable, Dict, Optional
 
 from repro.runner.cache import ResultCache
 
-__all__ = ["SharedResultStore", "SingleFlight"]
+__all__ = ["FlightCancelled", "SharedResultStore", "SingleFlight"]
+
+
+class FlightCancelled(RuntimeError):
+    """The leader of a flight was cancelled before producing a value.
+
+    Followers receive this instead of a bare ``CancelledError`` so they
+    can tell "the other job holding this key was cancelled" (recover by
+    starting a fresh flight) apart from "I was cancelled" (propagate).
+    """
 
 
 class SharedResultStore:
@@ -125,6 +134,14 @@ class SingleFlight:
         self.leaders += 1
         try:
             value = await compute()
+        except asyncio.CancelledError:
+            # cancellation is about the *leader's job*, not the key:
+            # followers get a recoverable FlightCancelled and may elect
+            # themselves leader of a fresh flight, while the real
+            # CancelledError keeps propagating through the leader.
+            future.set_exception(FlightCancelled(f"leader cancelled for {key}"))
+            future.exception()
+            raise
         except BaseException as exc:
             future.set_exception(exc)
             # a follower may or may not be awaiting; either way the

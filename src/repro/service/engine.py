@@ -4,7 +4,11 @@
 store together:
 
 * accepted sweeps (already validated by :mod:`repro.service.schema`)
-  enter the persistent :class:`~repro.service.queue.JobQueue`;
+  enter the persistent :class:`~repro.service.queue.JobQueue` — but
+  only after **admission control**: a bounded queue (jobs, points, and
+  serialized request bytes) rejects over-limit submissions with
+  :class:`AdmissionError`, which the HTTP layer turns into ``429`` plus
+  a ``Retry-After`` hint derived from the live backlog;
 * ``job_concurrency`` dispatcher tasks drain it in priority order;
 * each job's points resolve concurrently through the
   :class:`~repro.service.dedup.SharedResultStore` and, on a true miss,
@@ -12,23 +16,44 @@ store together:
   :func:`repro.runner.worker.execute_point` in a thread-pool executor
   (the same function behind ``Runner.run_points``, so service results
   are field-for-field identical to batch results);
+* every executor call sits under a **per-point watchdog**
+  (``asyncio.wait_for``): a point that exceeds ``point_timeout`` gets a
+  runner-taxonomy :class:`~repro.runner.FailureRecord` with
+  ``kind="timeout"`` and is retried, while the orphaned thread is
+  *fenced* — its attempt stamp is invalidated and its late result is
+  discarded at the futures layer, never published to the store;
+* repeated timeouts on one content key trip a **circuit breaker** that
+  fast-fails that key for a cooldown window instead of re-burning
+  worker threads, then half-opens to probe recovery;
 * failures follow the runner's policy: bounded retries with
   deterministic keyed backoff (:func:`repro.runner.backoff_delay`),
   :class:`~repro.runner.FailureRecord` entries for every attempt, and
   sanitizer-style immediate fatality is preserved for deterministic
   errors.
 
+Shutdown is two-mode.  ``stop()`` is the hard path: dispatchers are
+cancelled mid-job and the journal's replay re-queues whatever was
+running (crash-equivalent, and crash-safe for the same reason).
+``stop(drain=True, deadline=...)`` is the graceful path: admission
+closes, dispatchers finish the jobs they hold (up to the deadline,
+after which stragglers are cancelled), interrupted jobs are explicitly
+re-queued, and a ``service-shutdown`` marker is journaled so the next
+instance knows the shutdown was clean.
+
 Telemetry goes to an optional run log with the runner's own event
 vocabulary (``point-started`` / ``point-completed`` / ``point-retried``
 / ``point-failed``) plus the service-level events ``job-submitted``,
-``job-completed``, ``point-cache-hit`` and ``point-deduped`` — so
-"this point was computed exactly once" is directly checkable by
-counting ``point-completed`` records per key.
+``job-rejected``, ``job-completed``, ``job-cancelled``,
+``point-cache-hit``, ``point-deduped``, ``breaker-tripped`` and
+``breaker-recovered`` — so "this point was computed exactly once" is
+directly checkable by counting ``point-completed`` records per key.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import AsyncIterator, Dict, List, Optional
@@ -39,11 +64,16 @@ from repro.runner import RESULT_VERSION, FailureRecord, SimPoint
 from repro.runner.runner import backoff_delay
 from repro.runner.worker import execute_point
 from repro.sanitize.errors import SanitizerError
-from repro.service.dedup import SharedResultStore, SingleFlight
+from repro.service.dedup import FlightCancelled, SharedResultStore, SingleFlight
 from repro.service.queue import Job, JobQueue, JobState
 from repro.service.schema import SweepRequest, parse_sweep_request
 
-__all__ = ["PointComputeError", "ServiceConfig", "SimulationService"]
+__all__ = [
+    "AdmissionError",
+    "PointComputeError",
+    "ServiceConfig",
+    "SimulationService",
+]
 
 _log = get_logger("repro.service")
 
@@ -64,6 +94,38 @@ class PointComputeError(RuntimeError):
         super().__init__(f"point {point.label()} failed permanently — {detail}")
 
 
+class AdmissionError(RuntimeError):
+    """A submission was refused by admission control (HTTP ``429``/``503``).
+
+    ``reason`` is a stable machine-readable token (``queue-full``,
+    ``backlog-full``, ``bytes-full``, ``draining``); ``retry_after`` is
+    the server's estimate, in seconds, of when capacity frees up.
+    """
+
+    def __init__(self, reason: str, message: str, retry_after: float) -> None:
+        self.reason = reason
+        self.retry_after = retry_after
+        super().__init__(message)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "error": "draining" if self.reason == "draining" else "over-capacity",
+            "reason": self.reason,
+            "message": str(self),
+            "retry_after": self.retry_after,
+        }
+
+
+@dataclass
+class _BreakerState:
+    """Per-content-key circuit-breaker bookkeeping."""
+
+    consecutive: int = 0
+    #: monotonic deadline until which the key fast-fails; 0 = closed.
+    open_until: float = 0.0
+    tripped: bool = False
+
+
 @dataclass
 class ServiceConfig:
     """Knobs for one service instance."""
@@ -82,6 +144,21 @@ class ServiceConfig:
     retry_backoff: float = 0.05
     #: optional JSONL telemetry sink (runner-compatible event names).
     run_log: Optional[JsonlSink] = None
+    #: admission: max jobs waiting in the queue (0 = unlimited).
+    max_queued_jobs: int = 64
+    #: admission: max unresolved points across live jobs (0 = unlimited).
+    max_queued_points: int = 4096
+    #: admission: max serialized request bytes held by live jobs
+    #: (0 = unlimited).
+    max_inflight_bytes: int = 8 << 20
+    #: per-point watchdog in seconds; None disables the watchdog.
+    point_timeout: Optional[float] = None
+    #: consecutive timeouts on one key that trip the circuit breaker.
+    breaker_threshold: int = 3
+    #: seconds a tripped key fast-fails before a half-open probe.
+    breaker_cooldown: float = 30.0
+    #: journal size that triggers snapshot compaction (0 disables).
+    journal_max_bytes: int = 4 << 20
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -94,6 +171,34 @@ class ServiceConfig:
             )
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        for name in ("max_queued_jobs", "max_queued_points",
+                     "max_inflight_bytes", "journal_max_bytes"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0 (0 disables the limit)")
+        if self.point_timeout is not None and self.point_timeout <= 0:
+            raise ValueError(
+                f"point_timeout must be positive or None, got {self.point_timeout}"
+            )
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown <= 0:
+            raise ValueError(
+                f"breaker_cooldown must be positive, got {self.breaker_cooldown}"
+            )
+
+    def limits(self) -> Dict[str, object]:
+        """The admission/robustness knobs, for ``/v1/contract``."""
+        return {
+            "max_queued_jobs": self.max_queued_jobs,
+            "max_queued_points": self.max_queued_points,
+            "max_inflight_bytes": self.max_inflight_bytes,
+            "point_timeout": self.point_timeout,
+            "breaker_threshold": self.breaker_threshold,
+            "breaker_cooldown": self.breaker_cooldown,
+            "max_retries": self.max_retries,
+        }
 
 
 class SimulationService:
@@ -107,11 +212,22 @@ class SimulationService:
         self.run_log = config.run_log
         self.simulated = 0
         self.sim_seconds = 0.0
+        self.timeouts = 0
+        self.breaker_trips = 0
+        self.breaker_fast_fails = 0
+        self.breaker_recoveries = 0
+        self.rejected: Dict[str, int] = {}
+        self._breaker: Dict[str, _BreakerState] = {}
+        #: per-key attempt stamps; a timed-out attempt's stamp is
+        #: invalidated so its orphaned thread can never publish.
+        self._stamps: Dict[str, int] = {}
+        self._job_tasks: Dict[str, List["asyncio.Task"]] = {}
         self._executor: Optional[ThreadPoolExecutor] = None
         self._dispatchers: List["asyncio.Task"] = []
         self._wake: Optional[asyncio.Event] = None
         self._progress: Optional[asyncio.Condition] = None
         self._stopping = False
+        self._draining = False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -123,6 +239,7 @@ class SimulationService:
         self._wake = asyncio.Event()
         self._progress = asyncio.Condition()
         self._stopping = False
+        self._draining = False
         self._dispatchers = [
             asyncio.create_task(self._dispatch_loop(), name=f"dispatcher-{i}")
             for i in range(self.config.job_concurrency)
@@ -135,17 +252,56 @@ class SimulationService:
             )
             self._wake.set()
 
-    async def stop(self) -> None:
-        """Drain nothing: stop dispatchers, release the executor."""
+    async def stop(
+        self, drain: bool = False, deadline: Optional[float] = None
+    ) -> None:
+        """Shut the engine down.
+
+        ``drain=False`` (default) is the hard path: dispatchers are
+        cancelled mid-job; anything running is left non-terminal in the
+        journal, which is exactly what replay re-queues after a crash.
+
+        ``drain=True`` closes admission, lets dispatchers finish the
+        jobs they hold (up to ``deadline`` seconds, then cancels the
+        stragglers), re-queues every interrupted job at its original
+        priority, and journals a clean ``service-shutdown`` marker.
+        """
+        self._draining = True
+        if self._wake is not None:
+            self._wake.set()  # idle dispatchers must observe the drain
+        if drain and self._dispatchers:
+            _, pending = await asyncio.wait(self._dispatchers, timeout=deadline)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        else:
+            for task in self._dispatchers:
+                task.cancel()
+            for task in self._dispatchers:
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
         self._stopping = True
-        for task in self._dispatchers:
-            task.cancel()
-        for task in self._dispatchers:
-            try:
-                await task
-            except (asyncio.CancelledError, Exception):
-                pass
         self._dispatchers = []
+        if drain:
+            requeued = []
+            for job in self.queue.jobs.values():
+                if job.state == JobState.RUNNING:
+                    self.queue.requeue(job)
+                    requeued.append(job.id)
+            self.queue.shutdown_marker(
+                clean=True,
+                drained=True,
+                requeued=requeued,
+                pending=self.queue.pending(),
+            )
+            if requeued:
+                _log.info(
+                    f"[service] drain deadline expired: re-queued "
+                    f"{len(requeued)} interrupted job(s)"
+                )
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
@@ -153,18 +309,25 @@ class SimulationService:
         if self.run_log is not None:
             self.run_log.close()
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
     # -- submission --------------------------------------------------------
 
     def submit_payload(self, payload: Dict[str, object]) -> Job:
-        """Validate and enqueue one raw submission.
+        """Validate, admit, and enqueue one raw submission.
 
         Raises :class:`~repro.service.schema.SchemaError` on a
-        malformed payload — nothing invalid ever reaches the queue.
+        malformed payload and :class:`AdmissionError` when the service
+        is saturated or draining — nothing invalid or over-limit ever
+        reaches the queue.
         """
         request = parse_sweep_request(payload)
         return self.submit(request)
 
     def submit(self, request: SweepRequest) -> Job:
+        self._admit(request)
         job = self.queue.submit(request)
         self._log(
             "job-submitted",
@@ -176,13 +339,63 @@ class SimulationService:
             self._wake.set()
         return job
 
+    def retry_after_hint(self) -> float:
+        """Seconds until capacity likely frees up, from the live backlog."""
+        avg = (self.sim_seconds / self.simulated) if self.simulated else 1.0
+        backlog = self.queue.backlog_points()
+        estimate = backlog * max(avg, 0.05) / max(1, self.config.workers)
+        return round(min(60.0, max(0.5, estimate)), 2)
+
+    def _reject(self, reason: str, message: str) -> None:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+        hint = self.retry_after_hint()
+        self._log("job-rejected", reason=reason, retry_after=hint)
+        raise AdmissionError(reason, message, retry_after=hint)
+
+    def _admit(self, request: SweepRequest) -> None:
+        """Backpressure: refuse work the service could only queue unboundedly."""
+        cfg = self.config
+        if self._draining or self._stopping:
+            self._reject(
+                "draining",
+                "service is draining for shutdown; resubmit to the restarted "
+                "instance",
+            )
+        queued = self.queue.pending()
+        if cfg.max_queued_jobs and queued >= cfg.max_queued_jobs:
+            self._reject(
+                "queue-full",
+                f"{queued} job(s) already queued (limit {cfg.max_queued_jobs})",
+            )
+        new_points = len(request.benchmarks) * len(request.configs)
+        backlog = self.queue.backlog_points()
+        if cfg.max_queued_points and backlog + new_points > cfg.max_queued_points:
+            self._reject(
+                "backlog-full",
+                f"sweep adds {new_points} point(s) to a backlog of {backlog} "
+                f"(limit {cfg.max_queued_points})",
+            )
+        if cfg.max_inflight_bytes:
+            payload_bytes = len(
+                json.dumps(request.to_dict(), sort_keys=True, separators=(",", ":"))
+            )
+            held = self.queue.inflight_bytes()
+            if held + payload_bytes > cfg.max_inflight_bytes:
+                self._reject(
+                    "bytes-full",
+                    f"request of {payload_bytes} bytes exceeds the in-flight "
+                    f"byte budget ({held} of {cfg.max_inflight_bytes} held)",
+                )
+
     # -- dispatch ----------------------------------------------------------
 
     async def _dispatch_loop(self) -> None:
         assert self._wake is not None
         while not self._stopping:
-            job = self.queue.pop()
+            job = None if self._draining else self.queue.pop()
             if job is None:
+                if self._draining:
+                    return  # drain: finish held jobs, start nothing new
                 self._wake.clear()
                 await self._wake.wait()
                 continue
@@ -190,14 +403,35 @@ class SimulationService:
             await self._run_job(job)
 
     async def _run_job(self, job: Job) -> None:
-        results = await asyncio.gather(
-            *(
-                self._resolve_point(job, point, key)
-                for point, key in zip(job.points, job.keys)
-            ),
-            return_exceptions=True,
-        )
-        errors = [r for r in results if isinstance(r, BaseException)]
+        tasks = [
+            asyncio.create_task(self._resolve_point(job, point, key))
+            for point, key in zip(job.points, job.keys)
+        ]
+        self._job_tasks[job.id] = tasks
+        try:
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+        except asyncio.CancelledError:
+            # the dispatcher itself was cancelled (hard stop or drain
+            # deadline): leave the job non-terminal so replay or the
+            # drain path re-queues it.
+            for task in tasks:
+                task.cancel()
+            raise
+        finally:
+            self._job_tasks.pop(job.id, None)
+        if job.state == JobState.CANCELLED:
+            # cooperative DELETE mid-run: the queue already journaled
+            # the terminal transition; just wake the watchers.
+            self._log("job-cancelled", id=job.id, was_running=True)
+            async with self._progress:
+                self._progress.notify_all()
+            self.queue.maybe_compact(self.config.journal_max_bytes)
+            return
+        errors = [
+            r for r in results
+            if isinstance(r, BaseException)
+            and not isinstance(r, asyncio.CancelledError)
+        ]
         async with self._progress:
             if errors:
                 first = errors[0]
@@ -211,6 +445,34 @@ class SimulationService:
                 self.queue.complete(job)
                 self._log("job-completed", id=job.id)
             self._progress.notify_all()
+        self.queue.maybe_compact(self.config.journal_max_bytes)
+
+    async def cancel_job(self, job_id: str) -> Optional[bool]:
+        """Cancel a queued *or running* job.
+
+        Returns True when the job was cancelled, False when it is
+        already terminal, and None when the id is unknown.  Cancelling
+        a running job cancels its outstanding point tasks cooperatively:
+        points that already completed stay in the store (consistent and
+        reusable), the in-flight leader is interrupted, and follower
+        jobs sharing a flight elect a new leader instead of failing.
+        """
+        job = self.queue.jobs.get(job_id)
+        if job is None:
+            return None
+        if job.state in JobState.TERMINAL:
+            return False
+        if job.state == JobState.QUEUED:
+            self.queue.cancel(job_id)
+            self._log("job-cancelled", id=job_id, was_running=False)
+        else:
+            self.queue.cancel_running(job)
+            for task in self._job_tasks.get(job_id, []):
+                task.cancel()
+        if self._progress is not None:
+            async with self._progress:
+                self._progress.notify_all()
+        return True
 
     async def _resolve_point(self, job: Job, point: SimPoint, key: str) -> None:
         payload = self.store.get(key)
@@ -218,16 +480,24 @@ class SimulationService:
             self._log("point-cache-hit", label=point.label(), key=key, id=job.id)
             await self._mark_done(job, key)
             return
-        if self.flight.is_inflight(key):
-            self._log("point-deduped", label=point.label(), key=key, id=job.id)
-        try:
-            await self.flight.run(key, lambda: self._compute(job, point, key))
-        except PointComputeError as exc:
-            # the leader's _compute already appended its records to its
-            # own job; follower jobs copy the shared flight's trail.
-            if not any(f.get("key") == key for f in job.failures):
-                job.failures.extend(r.to_dict() for r in exc.records)
-            raise
+        while True:
+            if self.flight.is_inflight(key):
+                self._log("point-deduped", label=point.label(), key=key, id=job.id)
+            try:
+                await self.flight.run(key, lambda: self._compute(job, point, key))
+            except FlightCancelled:
+                # the leader's *job* was cancelled, not this one: take
+                # over with a fresh flight (or the store, if the leader
+                # published before the cancel landed).
+                if self.store.get(key) is None:
+                    continue
+            except PointComputeError as exc:
+                # the leader's _compute already appended its records to
+                # its own job; follower jobs copy the flight's trail.
+                if not any(f.get("key") == key for f in job.failures):
+                    job.failures.extend(r.to_dict() for r in exc.records)
+                raise
+            break
         await self._mark_done(job, key)
 
     async def _mark_done(self, job: Job, key: str) -> None:
@@ -235,37 +505,118 @@ class SimulationService:
             self.queue.point_completed(job, key)
             self._progress.notify_all()
 
+    # -- the leader path ---------------------------------------------------
+
+    def _breaker_check(self, job: Job, point: SimPoint, key: str) -> None:
+        """Fast-fail a key whose breaker is open; half-open passes through."""
+        state = self._breaker.get(key)
+        if state is None or not state.open_until:
+            return
+        remaining = state.open_until - time.monotonic()
+        if remaining <= 0:
+            return  # half-open: let one probe attempt through
+        self.breaker_fast_fails += 1
+        label = point.label()
+        record = FailureRecord(
+            label=label,
+            key=key,
+            kind="timeout",
+            attempt=0,
+            message=(
+                f"circuit breaker open after {state.consecutive} consecutive "
+                f"timeouts; fast-failing for another {remaining:.2f}s"
+            ),
+            fatal=True,
+        )
+        job.failures.append(record.to_dict())
+        self._log(
+            "point-failed", label=label, key=key, attempt=0,
+            kind="timeout", message=record.message, breaker="open",
+        )
+        raise PointComputeError(point, key, [record])
+
+    def _note_timeout(self, key: str) -> bool:
+        """Record one watchdog expiry; returns True if the breaker is open."""
+        self.timeouts += 1
+        state = self._breaker.setdefault(key, _BreakerState())
+        state.consecutive += 1
+        if state.consecutive >= self.config.breaker_threshold:
+            state.open_until = time.monotonic() + self.config.breaker_cooldown
+            if not state.tripped:
+                state.tripped = True
+                self.breaker_trips += 1
+                self._log(
+                    "breaker-tripped", key=key,
+                    consecutive=state.consecutive,
+                    cooldown=self.config.breaker_cooldown,
+                )
+            return True
+        return False
+
+    def _note_success(self, key: str) -> None:
+        state = self._breaker.pop(key, None)
+        if state is not None and state.tripped:
+            self.breaker_recoveries += 1
+            self._log("breaker-recovered", key=key)
+
     async def _compute(self, job: Job, point: SimPoint, key: str) -> None:
-        """Leader path: simulate with bounded retries, then publish."""
+        """Leader path: simulate with watchdog + bounded retries, then publish."""
         assert self._executor is not None
         loop = asyncio.get_running_loop()
         records: List[FailureRecord] = []
         attempt = 0
         label = point.label()
+        timeout = self.config.point_timeout
+        self._breaker_check(job, point, key)
         while True:
             self._log("point-started", label=label, key=key, attempt=attempt)
+            # stamp the attempt: a watchdog expiry invalidates the stamp,
+            # fencing the orphaned thread — its late result is dropped at
+            # the futures layer (nothing awaits an abandoned future) and
+            # could never pass this stamp check anyway.
+            stamp = self._stamps[key] = self._stamps.get(key, 0) + 1
             try:
-                stats_dict, wall = await loop.run_in_executor(
+                future = loop.run_in_executor(
                     self._executor, execute_point, point, attempt
                 )
+                if timeout is not None:
+                    stats_dict, wall = await asyncio.wait_for(future, timeout)
+                else:
+                    stats_dict, wall = await future
             except (asyncio.CancelledError, KeyboardInterrupt):
                 raise
             except BaseException as exc:
-                if isinstance(exc, SanitizerError):
-                    kind = "sanitizer"
-                elif isinstance(exc, MemoryError):
-                    kind = "oom"
+                breaker_open = False
+                if isinstance(exc, asyncio.TimeoutError):
+                    kind = "timeout"
+                    self._stamps[key] = stamp + 1  # fence the orphan
+                    breaker_open = self._note_timeout(key)
+                    message = (
+                        f"TimeoutError: point exceeded the {timeout}s "
+                        f"watchdog (attempt {attempt})"
+                    )
                 else:
-                    kind = "crash"
+                    if isinstance(exc, SanitizerError):
+                        kind = "sanitizer"
+                    elif isinstance(exc, MemoryError):
+                        kind = "oom"
+                    else:
+                        kind = "crash"
+                    message = f"{type(exc).__name__}: {exc}"
                 # sanitizer violations are deterministic: retrying one
-                # can only reproduce it (the runner's policy).
-                fatal = attempt >= self.config.max_retries or kind == "sanitizer"
+                # can only reproduce it (the runner's policy).  An open
+                # breaker makes further retries pointless too.
+                fatal = (
+                    attempt >= self.config.max_retries
+                    or kind == "sanitizer"
+                    or breaker_open
+                )
                 record = FailureRecord(
                     label=label,
                     key=key,
                     kind=kind,
                     attempt=attempt,
-                    message=f"{type(exc).__name__}: {exc}",
+                    message=message,
                     fatal=fatal,
                 )
                 records.append(record)
@@ -286,6 +637,13 @@ class SimulationService:
                 )
                 continue
             break
+        if self._stamps.get(key) != stamp:
+            # defensive fence: a stale attempt must never publish.  The
+            # awaited path always carries the current stamp, so reaching
+            # here means bookkeeping broke — drop the result.
+            _log.warning(f"[service] discarding stale result for {label}")
+            return
+        self._note_success(key)
         self.simulated += 1
         self.sim_seconds += wall
         self.store.put(
@@ -344,11 +702,17 @@ class SimulationService:
         Yields ``{"type": "progress", ...}`` after every newly completed
         point and a final ``{"type": "job", "state": ...}``; starts with
         a snapshot so late subscribers still see current progress.
+        Cancellation (queued or running) is a terminal transition like
+        any other: every transition notifies the shared condition, so a
+        watcher of a cancelled job terminates with a ``cancelled`` event
+        instead of wedging.
+
+        Raises :class:`ValueError` for an unknown job id.
         """
         assert self._progress is not None
         job = self.queue.jobs.get(job_id)
         if job is None:
-            return
+            raise ValueError(f"no such job: {job_id!r}")
         seen = -1
         while True:
             done = job.completed_points
@@ -370,14 +734,20 @@ class SimulationService:
                     await self._progress.wait()
 
     async def wait_for(self, job_id: str, timeout: Optional[float] = None) -> Job:
-        """Block until ``job_id`` is terminal; returns the job."""
+        """Block until ``job_id`` is terminal; returns the job.
 
-        async def _drain() -> Job:
+        Raises :class:`ValueError` for an unknown job id and
+        :class:`asyncio.TimeoutError` when the deadline expires first.
+        """
+        if job_id not in self.queue.jobs:
+            raise ValueError(f"no such job: {job_id!r}")
+
+        async def _drain_events() -> Job:
             async for _ in self.watch(job_id):
                 pass
             return self.queue.jobs[job_id]
 
-        return await asyncio.wait_for(_drain(), timeout)
+        return await asyncio.wait_for(_drain_events(), timeout)
 
     def stats(self) -> Dict[str, object]:
         """Service-level counters for ``GET /v1/stats``."""
@@ -385,6 +755,10 @@ class SimulationService:
         by_state: Dict[str, int] = {}
         for job in jobs:
             by_state[job.state] = by_state.get(job.state, 0) + 1
+        now = time.monotonic()
+        open_keys = sum(
+            1 for state in self._breaker.values() if state.open_until > now
+        )
         return {
             "version": __version__,
             "jobs": by_state,
@@ -394,6 +768,36 @@ class SimulationService:
             "single_flight": self.flight.summary(),
             "workers": self.config.workers,
             "job_concurrency": self.config.job_concurrency,
+            "draining": self._draining,
+            "admission": {
+                "max_queued_jobs": self.config.max_queued_jobs,
+                "max_queued_points": self.config.max_queued_points,
+                "max_inflight_bytes": self.config.max_inflight_bytes,
+                "queued_jobs": self.queue.pending(),
+                "backlog_points": self.queue.backlog_points(),
+                "inflight_bytes": self.queue.inflight_bytes(),
+                "rejected": dict(self.rejected),
+                "retry_after": self.retry_after_hint(),
+            },
+            "watchdog": {
+                "point_timeout": self.config.point_timeout,
+                "timeouts": self.timeouts,
+            },
+            "breaker": {
+                "threshold": self.config.breaker_threshold,
+                "cooldown": self.config.breaker_cooldown,
+                "trips": self.breaker_trips,
+                "fast_fails": self.breaker_fast_fails,
+                "recoveries": self.breaker_recoveries,
+                "open_keys": open_keys,
+            },
+            "journal": {
+                "path": str(self.queue.journal_path),
+                "bytes": self.queue.journal_bytes(),
+                "max_bytes": self.config.journal_max_bytes,
+                "compactions": self.queue.compactions,
+                "write_errors": self.queue.journal_write_errors,
+            },
         }
 
     def _log(self, event: str, **fields: object) -> None:

@@ -18,6 +18,22 @@ Dispatch order is strict priority (lower number first; the range is
 validated by the schema), FIFO within a priority level.  Failures
 reuse the runner's :class:`~repro.runner.FailureRecord` taxonomy
 verbatim, so a service journal and a batch run log read the same way.
+
+Two durability refinements keep a week-long service healthy:
+
+* **journal-write degradation** — a failing journal write (disk full,
+  volume gone) never takes a request down: the write is dropped, the
+  error is counted (``journal_write_errors``) and logged once per
+  burst, and the queue keeps serving from memory.  Availability wins
+  over durability for the single record; the next compaction or clean
+  write restores a consistent on-disk state.
+* **snapshot compaction** — once the journal crosses a size threshold
+  (:meth:`maybe_compact`), it is rewritten as one ``job-snapshot``
+  record per job (terminal jobs collapse from their whole lifecycle to
+  a single line) via write-temp-then-atomic-rename, so replay cost is
+  bounded by the job count, not the service's age.  Replay accepts
+  snapshots and incremental records interchangeably, and stays tolerant
+  of a torn tail in either form.
 """
 
 from __future__ import annotations
@@ -25,15 +41,19 @@ from __future__ import annotations
 import hashlib
 import heapq
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Set, Union
 
-from repro.obs.log import JsonlSink
+from repro.obs.log import JsonlSink, get_logger
 from repro.runner import SimPoint
+from repro.runner import faults
 from repro.service.schema import SchemaError, SweepRequest, parse_sweep_request
 
 __all__ = ["Job", "JobQueue", "JobState"]
+
+_log = get_logger("repro.service")
 
 
 class JobState:
@@ -65,6 +85,13 @@ class Job:
     #: :class:`repro.runner.FailureRecord` dicts, transient and fatal.
     failures: List[Dict[str, object]] = field(default_factory=list)
     error: Optional[str] = None
+    #: serialized request size, charged against the admission byte budget.
+    payload_bytes: int = 0
+
+    @property
+    def remaining_points(self) -> int:
+        """Points not yet resolved — the job's admission-control weight."""
+        return self.total_points - self.completed_points
 
     @property
     def total_points(self) -> int:
@@ -117,9 +144,39 @@ class JobQueue:
         self._heap: List = []  # (priority, seq, job id)
         self._seq = 0
         self._recovered: List[str] = []
+        self.journal_write_errors = 0
+        self.compactions = 0
+        self._event_counts: Dict[str, int] = {}
         if self.journal_path.exists():
             self._replay()
         self._journal = JsonlSink(self.journal_path, mode="a")
+
+    def _event(self, event: str, **fields: object) -> None:
+        """Write one journal record, surviving a failing write.
+
+        The deterministic chaos harness can schedule an ``OSError``
+        here (``journal-io`` fault, keyed by event name + occurrence);
+        real disk errors take the same path: count, log, keep serving.
+        """
+        occurrence = self._event_counts.get(event, 0)
+        self._event_counts[event] = occurrence + 1
+        try:
+            if faults.service_fault("journal-io", event, occurrence) is not None:
+                raise OSError(f"injected journal-io fault on {event!r}")
+            self._journal.event(event, **fields)
+        except OSError as exc:
+            self.journal_write_errors += 1
+            _log.warning(
+                f"[service] journal write failed ({event}): {exc} — "
+                f"continuing without this record"
+            )
+
+    def journal_bytes(self) -> int:
+        """Current on-disk journal size (0 when unreadable/absent)."""
+        try:
+            return self.journal_path.stat().st_size
+        except OSError:
+            return 0
 
     # -- recovery ----------------------------------------------------------
 
@@ -136,7 +193,7 @@ class JobQueue:
             except ValueError:
                 continue
             event = record.get("event")
-            if event == "job-submitted":
+            if event in ("job-submitted", "job-snapshot"):
                 try:
                     request = parse_sweep_request(record["request"])
                 except (SchemaError, KeyError):
@@ -147,6 +204,18 @@ class JobQueue:
                     request, dict(record["request"]), seq, record.get("id")
                 )
                 self.jobs[job.id] = job
+                if event == "job-snapshot":
+                    # one compacted record carries the whole lifecycle
+                    state = record.get("state", JobState.QUEUED)
+                    job.state = (
+                        state if state in JobState.TERMINAL else JobState.QUEUED
+                    )
+                    job.done_keys = {
+                        key for key in record.get("done_keys", ())
+                        if isinstance(key, str)
+                    }
+                    job.error = record.get("error")
+                    job.failures = list(record.get("failures", []))
             else:
                 job = self.jobs.get(record.get("id", ""))
                 if job is None:
@@ -155,6 +224,8 @@ class JobQueue:
                     job.done_keys.add(record.get("key", ""))
                 elif event == "job-started":
                     job.state = JobState.RUNNING
+                elif event == "job-requeued":
+                    job.state = JobState.QUEUED
                 elif event == "job-completed":
                     job.state = JobState.COMPLETED
                 elif event == "job-failed":
@@ -193,6 +264,9 @@ class JobQueue:
             payload=payload,
             points=points,
             keys=[point.cache_key() for point in points],
+            payload_bytes=len(
+                json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            ),
         )
 
     # -- submission and dispatch -------------------------------------------
@@ -203,7 +277,7 @@ class JobQueue:
         job = self._make_job(request, payload, self._seq)
         self._seq += 1
         self.jobs[job.id] = job
-        self._journal.event(
+        self._event(
             "job-submitted", id=job.id, seq=job.seq, priority=job.priority,
             request=payload,
         )
@@ -218,29 +292,45 @@ class JobQueue:
             if job.state != JobState.QUEUED:
                 continue  # cancelled while queued
             job.state = JobState.RUNNING
-            self._journal.event("job-started", id=job.id)
+            self._event("job-started", id=job.id)
             return job
         return None
 
     def pending(self) -> int:
         return sum(1 for job in self.jobs.values() if job.state == JobState.QUEUED)
 
+    def backlog_points(self) -> int:
+        """Unresolved points across every non-terminal job."""
+        return sum(
+            job.remaining_points
+            for job in self.jobs.values()
+            if job.state not in JobState.TERMINAL
+        )
+
+    def inflight_bytes(self) -> int:
+        """Serialized request bytes held by non-terminal jobs."""
+        return sum(
+            job.payload_bytes
+            for job in self.jobs.values()
+            if job.state not in JobState.TERMINAL
+        )
+
     # -- progress ----------------------------------------------------------
 
     def point_completed(self, job: Job, key: str) -> None:
         if key not in job.done_keys:
             job.done_keys.add(key)
-            self._journal.event("job-point-completed", id=job.id, key=key)
+            self._event("job-point-completed", id=job.id, key=key)
 
     def complete(self, job: Job) -> None:
         job.state = JobState.COMPLETED
-        self._journal.event("job-completed", id=job.id)
+        self._event("job-completed", id=job.id)
 
     def fail(self, job: Job, message: str, failures: List[Dict[str, object]]) -> None:
         job.state = JobState.FAILED
         job.error = message
         job.failures = failures
-        self._journal.event(
+        self._event(
             "job-failed", id=job.id, message=message, failures=failures
         )
 
@@ -250,7 +340,96 @@ class JobQueue:
         if job is None or job.state != JobState.QUEUED:
             return False
         job.state = JobState.CANCELLED
-        self._journal.event("job-cancelled", id=job.id)
+        self._event("job-cancelled", id=job.id)
+        return True
+
+    def cancel_running(self, job: Job) -> None:
+        """Journal a cooperative cancellation of a *running* job.
+
+        The engine owns the hard part (cancelling the job's outstanding
+        point tasks); the queue's contract is that the terminal
+        transition hits the journal before it is observable.
+        """
+        job.state = JobState.CANCELLED
+        self._event("job-cancelled", id=job.id, was_running=True)
+
+    def requeue(self, job: Job) -> None:
+        """Return an interrupted running job to the queue (drain path).
+
+        Keeps its original priority and submission order; completed
+        points stay in ``done_keys`` so only the remainder re-runs.
+        """
+        job.state = JobState.QUEUED
+        heapq.heappush(self._heap, (job.priority, job.seq, job.id))
+        self._event("job-requeued", id=job.id, completed=job.completed_points)
+
+    def shutdown_marker(self, **fields: object) -> None:
+        """Journal a clean ``service-shutdown`` marker (drain path)."""
+        self._event("service-shutdown", **fields)
+
+    # -- compaction --------------------------------------------------------
+
+    def _snapshot_record(self, job: Job) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "event": "job-snapshot",
+            "id": job.id,
+            "seq": job.seq,
+            "priority": job.priority,
+            "state": job.state,
+            "request": job.payload,
+            "done_keys": sorted(job.done_keys),
+        }
+        if job.error:
+            record["error"] = job.error
+        if job.failures:
+            record["failures"] = list(job.failures)
+        return record
+
+    def compact(self) -> None:
+        """Rewrite the journal as one ``job-snapshot`` line per job.
+
+        Terminal jobs collapse from their whole submitted/started/
+        point-completed/terminal history to a single record.  The
+        rewrite goes to a temp file that is fsynced and atomically
+        renamed over the journal, so a crash at any instant leaves
+        either the old journal or the new one — never a mix — and the
+        replay path's torn-tail tolerance covers a torn snapshot line
+        exactly as it covers a torn incremental one.
+        """
+        tmp_path = self.journal_path.with_name(self.journal_path.name + ".compact")
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                for job in sorted(self.jobs.values(), key=lambda j: j.seq):
+                    handle.write(
+                        json.dumps(self._snapshot_record(job), sort_keys=True)
+                        + "\n"
+                    )
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._journal.close()
+            os.replace(tmp_path, self.journal_path)
+            self.compactions += 1
+        except OSError as exc:
+            self.journal_write_errors += 1
+            _log.warning(f"[service] journal compaction failed: {exc}")
+            try:
+                tmp_path.unlink()
+            except OSError:
+                pass
+        finally:
+            # reopen even after a failed rename: the old journal is intact
+            self._journal = JsonlSink(self.journal_path, mode="a")
+
+    def maybe_compact(self, max_bytes: int) -> bool:
+        """Compact when the journal exceeds ``max_bytes`` (0 disables)."""
+        if not max_bytes or self.journal_bytes() <= max_bytes:
+            return False
+        before = self.journal_bytes()
+        self.compact()
+        _log.info(
+            f"[service] journal compacted: {before} -> "
+            f"{self.journal_bytes()} bytes ({len(self.jobs)} job snapshot(s))"
+        )
         return True
 
     def close(self) -> None:

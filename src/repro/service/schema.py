@@ -361,9 +361,16 @@ def parse_sweep_request(payload: Mapping[str, Any]) -> SweepRequest:
     )
 
 
-def contract_description() -> Dict[str, object]:
-    """Machine-readable contract summary served at ``GET /v1/contract``."""
-    return {
+def contract_description(
+    limits: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Machine-readable contract summary served at ``GET /v1/contract``.
+
+    ``limits`` (from :meth:`repro.service.engine.ServiceConfig.limits`)
+    adds the instance's admission/robustness knobs, so a client can see
+    the backpressure thresholds it will be held to.
+    """
+    out: Dict[str, object] = {
         "fields": {
             "benchmarks": f"required: non-empty list drawn from {len(BENCHMARKS)} names",
             "config | configs": "optional: system-config override object(s); "
@@ -378,3 +385,6 @@ def contract_description() -> Dict[str, object]:
         "dram_parts": sorted(DRAM_PARTS),
         "max_points_per_sweep": MAX_POINTS_PER_SWEEP,
     }
+    if limits is not None:
+        out["service_limits"] = dict(limits)
+    return out

@@ -14,17 +14,27 @@ GET       ``/healthz``                liveness probe
 GET       ``/v1/contract``            machine-readable request contract
 GET       ``/v1/stats``               service counters (queue/store/flight)
 POST      ``/v1/sweeps``              submit a sweep → ``202`` + job id,
-                                      or ``400`` with field-addressed errors
+                                      ``400`` with field-addressed errors,
+                                      ``429`` + ``Retry-After`` when
+                                      admission control refuses, or
+                                      ``503`` while draining
 GET       ``/v1/jobs``                all job summaries
 GET       ``/v1/jobs/<id>``           one job; includes per-point results
                                       once completed
 GET       ``/v1/jobs/<id>/stream``    Server-Sent Events progress stream
-DELETE    ``/v1/jobs/<id>``           cancel a *queued* job
+DELETE    ``/v1/jobs/<id>``           cancel a queued *or running* job
 ========  ==========================  =====================================
 
 Every connection handles one request and closes — the clients here are
 pollers and scripts, not browsers, and one-shot connections keep the
 server trivially correct.
+
+Two robustness notes.  A 500 body never echoes internal exception text
+(the traceback goes to the log; the client gets a generic message and
+should not be handed implementation details).  And the deterministic
+chaos harness can schedule a ``drop`` fault against a request path —
+the connection is aborted before any response bytes, exercising every
+client's mid-request disconnect handling.
 """
 
 from __future__ import annotations
@@ -34,7 +44,8 @@ import json
 from typing import Dict, Optional, Tuple
 
 from repro.obs.log import get_logger
-from repro.service.engine import SimulationService
+from repro.runner import faults
+from repro.service.engine import AdmissionError, SimulationService
 from repro.service.schema import SchemaError, contract_description
 
 __all__ = ["ServiceServer"]
@@ -53,7 +64,9 @@ _REASONS = {
     405: "Method Not Allowed",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -81,6 +94,8 @@ class ServiceServer:
         self.host = host
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
+        #: per-path request counters for deterministic ``drop`` faults.
+        self._path_counts: Dict[str, int] = {}
 
     @property
     def bound_port(self) -> int:
@@ -96,12 +111,20 @@ class ServiceServer:
         self.port = self.bound_port
         _log.info(f"[service] listening on http://{self.host}:{self.port}")
 
-    async def stop(self) -> None:
+    async def stop(
+        self, drain: bool = False, deadline: Optional[float] = None
+    ) -> None:
+        """Stop listening, then stop the engine (optionally draining).
+
+        The listener closes *first* in both modes, so a drain never
+        races new submissions — see
+        :meth:`repro.service.engine.SimulationService.stop`.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        await self.service.stop()
+        await self.service.stop(drain=drain, deadline=deadline)
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -119,18 +142,29 @@ class ServiceServer:
                 writer.write(_response(400, {"error": "malformed-request"}))
             else:
                 method, path, body = request
+                if self._drop_planned(path):
+                    # injected mid-request connection drop: abort with no
+                    # response bytes, like a crashed proxy would.
+                    writer.transport.abort()
+                    return
                 if path.rstrip("/").endswith("/stream") and method == "GET":
                     await self._stream(writer, path)
                     return  # _stream closes the connection itself
-                writer.write(self._dispatch(method, path, body))
+                writer.write(await self._dispatch(method, path, body))
             await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except Exception as exc:  # never kill the accept loop
+            # full detail to the log; a deliberately generic body to the
+            # client — internal exception text is not part of the API.
             _log.warning(f"[service] request failed: {type(exc).__name__}: {exc}")
             try:
                 writer.write(
-                    _response(500, {"error": "internal", "message": str(exc)})
+                    _response(
+                        500,
+                        {"error": "internal",
+                         "message": "internal error; see server log"},
+                    )
                 )
                 await writer.drain()
             except ConnectionError:
@@ -163,8 +197,11 @@ class ServiceServer:
             if ":" in line:
                 name, _, value = line.partition(":")
                 headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
-        if length > MAX_BODY_BYTES:
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            return None  # malformed Content-Length is the client's 400
+        if length < 0 or length > MAX_BODY_BYTES:
             return None
         body: Optional[Dict[str, object]] = None
         if length:
@@ -175,14 +212,23 @@ class ServiceServer:
                 return None
         return method, path, body
 
-    def _dispatch(
+    def _drop_planned(self, path: str) -> bool:
+        """True when the fault plan drops this occurrence of ``path``."""
+        path = path.rstrip("/") or "/"
+        occurrence = self._path_counts.get(path, 0)
+        self._path_counts[path] = occurrence + 1
+        return faults.service_fault("drop", path, occurrence) is not None
+
+    async def _dispatch(
         self, method: str, path: str, body: Optional[Dict[str, object]]
     ) -> bytes:
         path = path.rstrip("/") or "/"
         if path == "/healthz" and method == "GET":
             return _response(200, {"ok": True})
         if path == "/v1/contract" and method == "GET":
-            return _response(200, contract_description())
+            return _response(
+                200, contract_description(self.service.config.limits())
+            )
         if path == "/v1/stats" and method == "GET":
             return _response(200, self.service.stats())
         if path == "/v1/sweeps":
@@ -198,6 +244,13 @@ class ServiceServer:
                 job = self.service.submit_payload(body)
             except SchemaError as exc:
                 return _response(400, exc.to_dict())
+            except AdmissionError as exc:
+                status = 503 if exc.reason == "draining" else 429
+                return _response(
+                    status,
+                    exc.to_dict(),
+                    extra_headers=f"Retry-After: {exc.retry_after}\r\n",
+                )
             return _response(202, job.summary())
         if path == "/v1/jobs" and method == "GET":
             return _response(
@@ -213,9 +266,10 @@ class ServiceServer:
                     return _response(404, {"error": "no-such-job", "id": job_id})
                 return _response(200, status)
             if method == "DELETE":
-                if job_id not in self.service.queue.jobs:
+                cancelled = await self.service.cancel_job(job_id)
+                if cancelled is None:
                     return _response(404, {"error": "no-such-job", "id": job_id})
-                if self.service.queue.cancel(job_id):
+                if cancelled:
                     return _response(200, {"id": job_id, "state": "cancelled"})
                 return _response(
                     409,
@@ -239,6 +293,13 @@ class ServiceServer:
             b"Connection: close\r\n\r\n"
         )
         await writer.drain()
-        async for event in self.service.watch(job_id):
-            writer.write(f"data: {json.dumps(event)}\n\n".encode("utf-8"))
-            await writer.drain()
+        watcher = self.service.watch(job_id)
+        try:
+            async for event in watcher:
+                writer.write(f"data: {json.dumps(event)}\n\n".encode("utf-8"))
+                await writer.drain()
+        finally:
+            # a client that disconnects mid-stream must not leave the
+            # watcher parked on the progress condition: close it here,
+            # deterministically, instead of waiting on the GC.
+            await watcher.aclose()

@@ -336,6 +336,11 @@ class TestEngineLoad:
             cache_dir=str(tmp_path / "cache"),
             workers=4,
             run_log=JsonlSink(run_log, mode="a"),
+            # the point of this test is a worst-case flood, so admission
+            # control is deliberately switched off (0 = unlimited).
+            max_queued_jobs=0,
+            max_queued_points=0,
+            max_inflight_bytes=0,
         )
         unique_seeds = 6
 
@@ -623,3 +628,197 @@ class TestHttpApi:
         with pytest.raises(ServiceError) as excinfo:
             http_service._request("GET", "/v2/nope")
         assert excinfo.value.status == 404
+
+
+# ---------------------------------------------------------------------------
+# robustness satellites: malformed input, unknown ids, transport errors,
+# SSE disconnects, cancellation while queued
+# ---------------------------------------------------------------------------
+
+
+def _raw_http(client, request_bytes, timeout=10.0):
+    """Send raw bytes to the service the client points at; return the reply."""
+    import socket
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(client.base_url)
+    with socket.create_connection(
+        (parts.hostname, parts.port), timeout=timeout
+    ) as sock:
+        sock.sendall(request_bytes)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+class TestRobustnessSatellites:
+    def test_malformed_content_length_is_400_not_500(self, http_service):
+        reply = _raw_http(
+            http_service,
+            b"POST /v1/sweeps HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: abc\r\n\r\n",
+        )
+        assert reply.startswith(b"HTTP/1.1 400 ")
+        assert b"malformed-request" in reply
+
+    def test_negative_content_length_is_400(self, http_service):
+        reply = _raw_http(
+            http_service,
+            b"POST /v1/sweeps HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+        )
+        assert reply.startswith(b"HTTP/1.1 400 ")
+
+    def test_wait_for_and_watch_unknown_job_raise_value_error(self, tmp_path):
+        config = ServiceConfig(journal_path=str(tmp_path / "journal.jsonl"))
+
+        async def scenario():
+            service = SimulationService(config)
+            await service.start()
+            try:
+                with pytest.raises(ValueError, match="no such job: 'job-nope'"):
+                    await service.wait_for("job-nope", timeout=1)
+                with pytest.raises(ValueError, match="no such job"):
+                    async for _ in service.watch("job-nope"):
+                        pass
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_connection_refused_raises_service_error(self):
+        # an unbound port: nothing is listening, urllib raises URLError,
+        # and the client must normalize it instead of leaking it.
+        client = ServiceClient("http://127.0.0.1:9", timeout=2.0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.stats()
+        assert excinfo.value.status == 0
+        assert excinfo.value.payload["error"] == "unreachable"
+        assert not client.healthy()
+
+    def test_500_body_does_not_echo_internal_exception_text(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr("repro.service.engine.execute_point", _fake_execute)
+
+        def explode(self):
+            raise RuntimeError("secret-internal-detail /etc/passwd")
+
+        monkeypatch.setattr(SimulationService, "stats", explode)
+        config = ServiceConfig(journal_path=str(tmp_path / "journal.jsonl"))
+        with EphemeralServer(config) as server:
+            client = ServiceClient(server.url, timeout=10.0)
+            with pytest.raises(ServiceError) as excinfo:
+                client._request("GET", "/v1/stats")
+        assert excinfo.value.status == 500
+        assert "secret-internal-detail" not in json.dumps(excinfo.value.payload)
+        assert excinfo.value.payload["error"] == "internal"
+
+    def test_sse_disconnect_mid_stream_does_not_wedge_dispatcher(
+        self, tmp_path, monkeypatch
+    ):
+        gate = threading.Event()
+
+        def gated_execute(point, attempt=0, obs=None, sanitize=False):
+            if point.seed == 77:  # only the streamed job is slow
+                gate.wait(timeout=30)
+            return _fake_execute(point, attempt)
+
+        monkeypatch.setattr("repro.service.engine.execute_point", gated_execute)
+        config = ServiceConfig(journal_path=str(tmp_path / "journal.jsonl"))
+        with EphemeralServer(config) as server:
+            client = ServiceClient(server.url, timeout=30.0)
+            job = client.submit(_sweep(seed=77))
+            # open the SSE stream and slam the connection shut mid-job
+            import socket
+            from urllib.parse import urlsplit
+
+            parts = urlsplit(client.base_url)
+            sock = socket.create_connection(
+                (parts.hostname, parts.port), timeout=10
+            )
+            sock.sendall(
+                f"GET /v1/jobs/{job['id']}/stream HTTP/1.1\r\n\r\n".encode()
+            )
+            assert sock.recv(64).startswith(b"HTTP/1.1 200")
+            sock.close()
+            gate.set()
+            # the dispatcher must finish the streamed job and keep
+            # serving fresh work afterwards
+            assert client.wait(job["id"], timeout=30)["state"] == "completed"
+            second = client.submit(_sweep(seed=78))
+            assert client.wait(second["id"], timeout=30)["state"] == "completed"
+
+    def test_watch_terminates_when_queued_job_is_cancelled(
+        self, tmp_path, monkeypatch
+    ):
+        release = threading.Event()
+
+        def blocking_execute(point, attempt=0, obs=None, sanitize=False):
+            release.wait(timeout=30)
+            return _fake_execute(point, attempt)
+
+        monkeypatch.setattr(
+            "repro.service.engine.execute_point", blocking_execute
+        )
+        config = ServiceConfig(
+            journal_path=str(tmp_path / "journal.jsonl"),
+            workers=1,
+            job_concurrency=1,
+        )
+
+        async def scenario():
+            service = SimulationService(config)
+            await service.start()
+            blocker = service.submit_payload(_sweep(seed=1, priority=0))
+            while service.queue.jobs[blocker.id].state != JobState.RUNNING:
+                await asyncio.sleep(0.005)
+            queued = service.submit_payload(_sweep(seed=2, priority=9))
+
+            async def watch_all():
+                return [e async for e in service.watch(queued.id)]
+
+            watcher = asyncio.create_task(watch_all())
+            await asyncio.sleep(0.02)  # watcher is parked on the condition
+            assert await service.cancel_job(queued.id) is True
+            events = await asyncio.wait_for(watcher, timeout=5)
+            assert events[-1] == {
+                "type": "job",
+                "id": queued.id,
+                "state": JobState.CANCELLED,
+            }
+            release.set()
+            await _drain(service)
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_http_delete_cancels_running_job(self, tmp_path, monkeypatch):
+        started = threading.Event()
+        release = threading.Event()
+
+        def gated_execute(point, attempt=0, obs=None, sanitize=False):
+            started.set()
+            release.wait(timeout=30)
+            return _fake_execute(point, attempt)
+
+        monkeypatch.setattr("repro.service.engine.execute_point", gated_execute)
+        config = ServiceConfig(journal_path=str(tmp_path / "journal.jsonl"))
+        with EphemeralServer(config) as server:
+            client = ServiceClient(server.url, timeout=30.0)
+            job = client.submit(_sweep(benchmarks=["mcf", "swim"], seed=5))
+            assert started.wait(timeout=30)
+            reply = client.cancel(job["id"])
+            assert reply == {"id": job["id"], "state": "cancelled"}
+            release.set()
+            status = client.wait(job["id"], timeout=30)
+            assert status["state"] == "cancelled"
+            # a second DELETE reports the terminal state, not success
+            with pytest.raises(ServiceError) as excinfo:
+                client.cancel(job["id"])
+            assert excinfo.value.status == 409

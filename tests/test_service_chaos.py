@@ -1,0 +1,682 @@
+"""Deterministic chaos harness for the hardened simulation service.
+
+Every test here drives the real service engine (and in most cases the
+real HTTP server) under an explicit :class:`repro.runner.faults.FaultPlan`
+— hangs, transient crashes, journal-write errors, dropped connections —
+and asserts the robustness invariants the service promises:
+
+* no point is lost or computed twice (counted from the run log);
+* per-point watchdog timeouts produce runner-taxonomy
+  ``FailureRecord(kind="timeout")`` entries, the orphaned thread never
+  publishes, and repeated timeouts trip (then recover) the breaker;
+* over-limit submissions get ``429`` + ``Retry-After`` and succeed on
+  client retry;
+* drain + restart resumes exactly the unfinished remainder — including
+  a real ``repro-serve serve`` process killed with SIGTERM;
+* served statistics stay field-for-field identical to calling
+  :func:`repro.runner.worker.execute_point` directly, even when the
+  point only succeeded after an injected-then-recovered fault.
+
+The faults are pure functions of ``(label, occurrence)`` — no RNG, no
+wall clock — so every failure mode in this file reproduces exactly.
+"""
+
+import asyncio
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs.log import JsonlSink
+from repro.runner import faults
+from repro.service import (
+    AdmissionError,
+    JobState,
+    ServiceConfig,
+    SimulationService,
+)
+from repro.service.cli import EphemeralServer
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.queue import JobQueue
+
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+
+def _sweep(**overrides):
+    payload = {"benchmarks": ["mcf"], "memory_refs": 500}
+    payload.update(overrides)
+    return payload
+
+
+def _events(path):
+    out = []
+    for line in Path(path).read_text().splitlines():
+        try:
+            out.append(json.loads(line))
+        except ValueError:
+            continue
+    return out
+
+
+def _per_key_completions(run_log_path):
+    counts = {}
+    for event in _events(run_log_path):
+        if event.get("event") == "point-completed":
+            counts[event["key"]] = counts.get(event["key"], 0) + 1
+    return counts
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_plan(monkeypatch):
+    """Every test starts and ends with no fault plan installed."""
+    monkeypatch.delenv(faults.ENV_FAULT_PLAN, raising=False)
+    yield
+    faults.set_fault_plan(None)
+
+
+def _install(plan, monkeypatch):
+    monkeypatch.setenv(faults.ENV_FAULT_PLAN, plan.to_json())
+
+
+def _fake_stats(point):
+    return {
+        "benchmark": point.benchmark,
+        "seed": point.seed,
+        "cycles": 100.0 + point.seed,
+    }
+
+
+# ---------------------------------------------------------------------------
+# mixed transient faults: nothing lost, nothing double-computed
+# ---------------------------------------------------------------------------
+
+
+class TestMixedFaults:
+    def test_transient_crash_slow_sim_and_journal_io_recover_cleanly(
+        self, tmp_path, monkeypatch
+    ):
+        plan = faults.FaultPlan(
+            [
+                # mcf crashes once, recovered by the first retry
+                faults.FaultSpec(match="mcf", fault="raise", attempts=(0,)),
+                # swim simulates slowly but under any sane watchdog
+                faults.FaultSpec(
+                    match="swim", fault="slow", attempts=(0,), hang_seconds=0.05
+                ),
+                # the first point-completed journal write fails on disk
+                faults.FaultSpec(
+                    match="job-point-completed", fault="journal-io", attempts=(0,)
+                ),
+            ]
+        )
+        _install(plan, monkeypatch)
+
+        def chaos_execute(point, attempt=0, obs=None, sanitize=False):
+            faults.maybe_inject(point.label(), attempt)
+            return _fake_stats(point), 0.001
+
+        monkeypatch.setattr("repro.service.engine.execute_point", chaos_execute)
+        run_log = tmp_path / "run.jsonl"
+        config = ServiceConfig(
+            journal_path=str(tmp_path / "journal.jsonl"),
+            cache_dir=str(tmp_path / "cache"),
+            workers=2,
+            retry_backoff=0.001,
+            point_timeout=10.0,
+            run_log=JsonlSink(run_log, mode="a"),
+        )
+
+        async def scenario():
+            service = SimulationService(config)
+            await service.start()
+            jobs = [
+                service.submit_payload(
+                    _sweep(benchmarks=["mcf", "swim"], seed=3)
+                )
+                for _ in range(5)
+            ]
+            jobs += [service.submit_payload(_sweep(seed=s)) for s in (7, 8)]
+            for job in jobs:
+                done = await service.wait_for(job.id, timeout=60)
+                assert done.state == JobState.COMPLETED
+                assert done.completed_points == done.total_points
+                for entry in service.results(done):
+                    assert entry["stats"] is not None
+            stats = service.stats()
+            errors = service.queue.journal_write_errors
+            await service.stop()
+            return stats, errors
+
+        stats, journal_errors = asyncio.run(scenario())
+        # the injected journal failure was absorbed, not fatal
+        assert journal_errors >= 1
+        assert stats["journal"]["write_errors"] >= 1
+        # no lost and no double-computed points, straight from the log
+        counts = _per_key_completions(run_log)
+        assert len(counts) == 4  # (mcf,swim)@seed3 + mcf@7 + mcf@8
+        assert set(counts.values()) == {1}
+        # the transient crash really happened and really recovered
+        retried = [
+            e for e in _events(run_log) if e["event"] == "point-retried"
+        ]
+        assert any(e["kind"] == "crash" for e in retried)
+
+
+# ---------------------------------------------------------------------------
+# watchdog + orphan fencing + circuit breaker
+# ---------------------------------------------------------------------------
+
+
+class TestWatchdogAndBreaker:
+    def test_timeout_yields_runner_taxonomy_record_and_orphan_never_publishes(
+        self, tmp_path, monkeypatch
+    ):
+        hang = threading.Event()  # released in teardown via timeout
+
+        def hanging_execute(point, attempt=0, obs=None, sanitize=False):
+            hang.wait(timeout=0.4)  # far beyond the watchdog
+            return _fake_stats(point), 0.001
+
+        monkeypatch.setattr(
+            "repro.service.engine.execute_point", hanging_execute
+        )
+        run_log = tmp_path / "run.jsonl"
+        config = ServiceConfig(
+            journal_path=str(tmp_path / "journal.jsonl"),
+            workers=1,
+            max_retries=0,
+            point_timeout=0.05,
+            breaker_threshold=10,  # not under test here
+            run_log=JsonlSink(run_log, mode="a"),
+        )
+
+        async def scenario():
+            service = SimulationService(config)
+            await service.start()
+            job = service.submit_payload(_sweep(seed=1))
+            done = await service.wait_for(job.id, timeout=30)
+            assert done.state == JobState.FAILED
+            record = done.failures[0]
+            # the runner's FailureRecord taxonomy, verbatim
+            assert record["kind"] == "timeout"
+            assert record["label"].startswith("mcf")
+            assert record["key"] == job.keys[0]
+            assert record["attempt"] == 0
+            assert record["fatal"] is True
+            assert "watchdog" in record["message"]
+            # let the orphaned thread finish, then prove it was fenced:
+            # its late result must never have been published.
+            await asyncio.sleep(0.5)
+            assert service.store.get(job.keys[0]) is None
+            stats = service.stats()
+            assert stats["points_simulated"] == 0
+            assert stats["watchdog"]["timeouts"] == 1
+            await service.stop()
+
+        asyncio.run(scenario())
+        events = [e["event"] for e in _events(run_log)]
+        assert "point-failed" in events
+        assert "point-completed" not in events
+
+    def test_breaker_trips_fast_fails_then_recovers_on_half_open_probe(
+        self, tmp_path, monkeypatch
+    ):
+        plan = faults.FaultPlan(
+            [
+                # the first three *executions* hang; the fourth is healthy
+                faults.FaultSpec(
+                    match="mcf", fault="hang",
+                    attempts=(0, 1, 2), hang_seconds=0.2,
+                ),
+            ]
+        )
+        _install(plan, monkeypatch)
+        occurrences = {}
+        lock = threading.Lock()
+
+        def counted_execute(point, attempt=0, obs=None, sanitize=False):
+            label = point.label()
+            with lock:
+                occ = occurrences.get(label, 0)
+                occurrences[label] = occ + 1
+            spec = faults.service_fault("hang", label, occ)
+            if spec is not None:
+                time.sleep(spec.hang_seconds)
+            return _fake_stats(point), 0.001
+
+        monkeypatch.setattr(
+            "repro.service.engine.execute_point", counted_execute
+        )
+        run_log = tmp_path / "run.jsonl"
+        config = ServiceConfig(
+            journal_path=str(tmp_path / "journal.jsonl"),
+            # one idle thread per attempt: each timed-out attempt leaves
+            # an orphaned thread sleeping, and the *next* attempt must
+            # still start promptly to consume its fault occurrence
+            workers=4,
+            max_retries=2,
+            retry_backoff=0.001,
+            point_timeout=0.05,
+            breaker_threshold=3,
+            breaker_cooldown=0.4,
+            run_log=JsonlSink(run_log, mode="a"),
+        )
+
+        async def scenario():
+            service = SimulationService(config)
+            await service.start()
+            # three timed-out attempts -> breaker trips, job fails
+            first = service.submit_payload(_sweep(seed=6))
+            done = await service.wait_for(first.id, timeout=30)
+            assert done.state == JobState.FAILED
+            assert [f["kind"] for f in done.failures] == ["timeout"] * 3
+            assert service.breaker_trips == 1
+            # identical key inside the cooldown window: fast-fail, no
+            # worker burned
+            second = service.submit_payload(_sweep(seed=6))
+            done2 = await service.wait_for(second.id, timeout=30)
+            assert done2.state == JobState.FAILED
+            assert service.breaker_fast_fails >= 1
+            assert "circuit breaker open" in done2.failures[0]["message"]
+            assert service.stats()["watchdog"]["timeouts"] == 3
+            # past the cooldown the half-open probe goes through,
+            # succeeds, and closes the breaker
+            await asyncio.sleep(0.5)
+            third = service.submit_payload(_sweep(seed=6))
+            done3 = await service.wait_for(third.id, timeout=30)
+            assert done3.state == JobState.COMPLETED
+            assert service.breaker_recoveries == 1
+            stats = service.stats()
+            assert stats["breaker"]["trips"] == 1
+            assert stats["breaker"]["recoveries"] == 1
+            assert stats["breaker"]["open_keys"] == 0
+            await service.stop()
+
+        asyncio.run(scenario())
+        events = [e["event"] for e in _events(run_log)]
+        assert "breaker-tripped" in events
+        assert "breaker-recovered" in events
+
+
+# ---------------------------------------------------------------------------
+# admission control end to end: 429 + Retry-After + client retry
+# ---------------------------------------------------------------------------
+
+
+class TestBackpressure:
+    def test_over_capacity_gets_429_and_client_retry_succeeds(
+        self, tmp_path, monkeypatch
+    ):
+        release = threading.Event()
+
+        def gated_execute(point, attempt=0, obs=None, sanitize=False):
+            release.wait(timeout=30)
+            return _fake_stats(point), 0.001
+
+        monkeypatch.setattr("repro.service.engine.execute_point", gated_execute)
+        config = ServiceConfig(
+            journal_path=str(tmp_path / "journal.jsonl"),
+            workers=1,
+            job_concurrency=1,
+            max_queued_jobs=1,
+        )
+        with EphemeralServer(config) as server:
+            client = ServiceClient(server.url, timeout=30.0)
+            running = client.submit(_sweep(seed=0))
+            deadline = time.monotonic() + 30
+            while client.job(running["id"])["state"] != "running":
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            client.submit(_sweep(seed=1))  # fills the queue (limit 1)
+            # the raw request shows the structured 429
+            with pytest.raises(ServiceError) as excinfo:
+                client._request("POST", "/v1/sweeps", _sweep(seed=2))
+            assert excinfo.value.status == 429
+            assert excinfo.value.payload["error"] == "over-capacity"
+            assert excinfo.value.payload["reason"] == "queue-full"
+            assert excinfo.value.retry_after is not None
+            assert excinfo.value.retry_after > 0
+            # the retrying client path succeeds once capacity frees up
+            threading.Timer(0.2, release.set).start()
+            summary = client.submit(_sweep(seed=2))
+            assert client.wait(summary["id"], timeout=60)["state"] == "completed"
+            stats = client.stats()
+            assert stats["admission"]["rejected"]["queue-full"] >= 1
+
+    def test_draining_service_refuses_with_503(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            "repro.service.engine.execute_point",
+            lambda point, attempt=0, obs=None, sanitize=False: (
+                _fake_stats(point), 0.001
+            ),
+        )
+        config = ServiceConfig(journal_path=str(tmp_path / "journal.jsonl"))
+
+        async def scenario():
+            service = SimulationService(config)
+            await service.start()
+            service._draining = True  # as stop(drain=True) sets first
+            with pytest.raises(AdmissionError) as excinfo:
+                service.submit_payload(_sweep())
+            assert excinfo.value.reason == "draining"
+            assert excinfo.value.to_dict()["error"] == "draining"
+            service._draining = False
+            await service.stop()
+
+        asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# graceful drain, requeue, restart: the remainder — and only the
+# remainder — resumes
+# ---------------------------------------------------------------------------
+
+
+class TestDrainAndRestart:
+    def test_drain_deadline_requeues_and_restart_resumes_remainder(
+        self, tmp_path, monkeypatch
+    ):
+        release = threading.Event()
+
+        def phase1_execute(point, attempt=0, obs=None, sanitize=False):
+            if point.benchmark == "swim":
+                release.wait(timeout=3)  # held past the drain deadline
+            return _fake_stats(point), 0.001
+
+        monkeypatch.setattr("repro.service.engine.execute_point", phase1_execute)
+        journal = tmp_path / "journal.jsonl"
+        cache_dir = tmp_path / "cache"
+        run_log = tmp_path / "run.jsonl"
+
+        def config():
+            return ServiceConfig(
+                journal_path=str(journal),
+                cache_dir=str(cache_dir),
+                workers=1,
+                job_concurrency=1,
+                run_log=JsonlSink(run_log, mode="a"),
+            )
+
+        async def phase1():
+            service = SimulationService(config())
+            await service.start()
+            job = service.submit_payload(
+                _sweep(benchmarks=["mcf", "swim"], seed=2)
+            )
+            deadline = time.monotonic() + 30
+            while service.queue.jobs[job.id].completed_points < 1:
+                assert time.monotonic() < deadline
+                await asyncio.sleep(0.005)
+            await service.stop(drain=True, deadline=0.2)
+            assert service.queue.jobs[job.id].state == JobState.QUEUED
+            return job.id
+
+        job_id = asyncio.run(phase1())
+        release.set()
+        journal_events = [e["event"] for e in _events(journal)]
+        assert "job-requeued" in journal_events
+        assert "service-shutdown" in journal_events
+
+        phase2_calls = []
+
+        def phase2_execute(point, attempt=0, obs=None, sanitize=False):
+            phase2_calls.append(point.benchmark)
+            return _fake_stats(point), 0.001
+
+        monkeypatch.setattr("repro.service.engine.execute_point", phase2_execute)
+
+        async def phase2():
+            service = SimulationService(config())
+            await service.start()
+            assert service.queue.recovered_job_ids == [job_id]
+            done = await service.wait_for(job_id, timeout=30)
+            assert done.state == JobState.COMPLETED
+            assert done.completed_points == 2
+            await service.stop()
+
+        asyncio.run(phase2())
+        # only the interrupted point re-simulated; the finished one came
+        # from the shared store
+        assert phase2_calls == ["swim"]
+        counts = _per_key_completions(run_log)
+        assert set(counts.values()) == {1}
+
+    def test_clean_drain_with_idle_queue_journals_marker(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+
+        async def scenario():
+            service = SimulationService(ServiceConfig(journal_path=str(journal)))
+            await service.start()
+            await service.stop(drain=True, deadline=5.0)
+
+        asyncio.run(scenario())
+        markers = [
+            e for e in _events(journal) if e["event"] == "service-shutdown"
+        ]
+        assert markers and markers[-1]["clean"] is True
+
+
+# ---------------------------------------------------------------------------
+# dropped connections and journal compaction
+# ---------------------------------------------------------------------------
+
+
+class TestTransportAndJournalChaos:
+    def test_connection_drop_mid_request_surfaces_and_service_survives(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(
+            "repro.service.engine.execute_point",
+            lambda point, attempt=0, obs=None, sanitize=False: (
+                _fake_stats(point), 0.001
+            ),
+        )
+        plan = faults.FaultPlan(
+            [faults.FaultSpec(match="/v1/stats", fault="drop", attempts=(0,))]
+        )
+        _install(plan, monkeypatch)
+        config = ServiceConfig(journal_path=str(tmp_path / "journal.jsonl"))
+        with EphemeralServer(config) as server:
+            client = ServiceClient(server.url, timeout=10.0)
+            # first /v1/stats request: connection aborted mid-request,
+            # normalized to ServiceError by the client
+            with pytest.raises(ServiceError) as excinfo:
+                client.stats()
+            assert excinfo.value.status == 0
+            # the server is unharmed: the next request works, and real
+            # work still flows end to end
+            assert client.stats()["points_simulated"] == 0
+            job = client.submit(_sweep(seed=4))
+            assert client.wait(job["id"], timeout=30)["state"] == "completed"
+
+    def test_compaction_bounds_journal_and_survives_restart_with_torn_tail(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(
+            "repro.service.engine.execute_point",
+            lambda point, attempt=0, obs=None, sanitize=False: (
+                _fake_stats(point), 0.001
+            ),
+        )
+        journal = tmp_path / "journal.jsonl"
+        config = ServiceConfig(
+            journal_path=str(journal),
+            cache_dir=str(tmp_path / "cache"),
+            journal_max_bytes=400,  # tiny: force compaction quickly
+        )
+
+        async def scenario():
+            service = SimulationService(config)
+            await service.start()
+            for seed in range(6):
+                job = service.submit_payload(_sweep(seed=seed))
+                await service.wait_for(job.id, timeout=30)
+            compactions = service.queue.compactions
+            job_states = {
+                j.id: j.state for j in service.queue.jobs.values()
+            }
+            await service.stop()
+            return compactions, job_states
+
+        compactions, job_states = asyncio.run(scenario())
+        assert compactions >= 1
+        events = _events(journal)
+        assert any(e["event"] == "job-snapshot" for e in events)
+        # simulate a crash mid-append: a torn half-record at the tail
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "job-subm')
+        queue = JobQueue(journal)
+        assert {
+            job_id: job.state for job_id, job in queue.jobs.items()
+        } == job_states
+        assert all(
+            state == JobState.COMPLETED for state in job_states.values()
+        )
+        assert queue.pending() == 0
+        queue.close()
+
+
+# ---------------------------------------------------------------------------
+# fidelity under chaos: a recovered fault changes nothing about the data
+# ---------------------------------------------------------------------------
+
+
+class TestFidelityUnderChaos:
+    def test_served_stats_identical_to_direct_execute_after_recovered_fault(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.runner import SimPoint
+        from repro.runner.worker import execute_point
+        from repro.service.schema import build_config
+
+        plan = faults.FaultPlan(
+            [faults.FaultSpec(match="mcf", fault="raise", attempts=(0,))]
+        )
+        _install(plan, monkeypatch)
+        config = ServiceConfig(
+            journal_path=str(tmp_path / "journal.jsonl"),
+            cache_dir=str(tmp_path / "cache"),
+            workers=1,
+            retry_backoff=0.001,
+        )
+        payload = _sweep(memory_refs=500, seed=12)
+
+        async def scenario():
+            service = SimulationService(config)
+            await service.start()
+            job = service.submit_payload(payload)
+            done = await service.wait_for(job.id, timeout=120)
+            assert done.state == JobState.COMPLETED
+            # the crash is on the record, but did not stick
+            assert [f["kind"] for f in done.failures] == ["crash"]
+            served = service.results(done)[0]["stats"]
+            await service.stop()
+            return served
+
+        served = asyncio.run(scenario())
+        faults.set_fault_plan(None)
+        point = SimPoint(
+            benchmark="mcf",
+            config=build_config({}),
+            memory_refs=500,
+            seed=12,
+        )
+        direct, _ = execute_point(point)
+        assert served == direct
+
+
+# ---------------------------------------------------------------------------
+# the real thing: SIGTERM a live repro-serve process, then restart it
+# ---------------------------------------------------------------------------
+
+
+def _spawn_serve(tmp_path, env, extra_args=()):
+    args = [
+        sys.executable, "-m", "repro.service.cli", "serve",
+        "--host", "127.0.0.1", "--port", "0",
+        "--journal", str(tmp_path / "journal.jsonl"),
+        "--cache-dir", str(tmp_path / "cache"),
+        "--workers", "1",
+        "--drain-deadline", "0.5",
+        *extra_args,
+    ]
+    proc = subprocess.Popen(
+        args, env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True,
+    )
+    port = None
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line and proc.poll() is not None:
+            break
+        match = re.search(r"listening on http://[\d.]+:(\d+)", line)
+        if match:
+            port = int(match.group(1))
+            break
+    if port is None:
+        proc.kill()
+        raise AssertionError("repro-serve did not report a listening port")
+    return proc, ServiceClient(f"http://127.0.0.1:{port}", timeout=30.0)
+
+
+class TestSigtermDrill:
+    def test_sigterm_drains_requeues_and_restart_resumes_remainder(
+        self, tmp_path,
+    ):
+        env = os.environ.copy()
+        env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+        # mcf's first attempt simulates slowly (2s), guaranteeing it is
+        # mid-flight when SIGTERM lands and the 0.5s drain deadline hits
+        plan = faults.FaultPlan(
+            [
+                faults.FaultSpec(
+                    match="mcf", fault="slow", attempts=(0,), hang_seconds=2.0
+                )
+            ]
+        )
+        env[faults.ENV_FAULT_PLAN] = plan.to_json()
+        proc, client = _spawn_serve(tmp_path, env)
+        try:
+            job = client.submit(
+                {"benchmarks": ["swim", "mcf"], "memory_refs": 500}
+            )
+            deadline = time.monotonic() + 60
+            while client.job(job["id"])["completed"] < 1:
+                assert time.monotonic() < deadline, "first point never finished"
+                time.sleep(0.05)
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        journal_events = [
+            e["event"] for e in _events(tmp_path / "journal.jsonl")
+        ]
+        assert "job-requeued" in journal_events
+        assert "service-shutdown" in journal_events
+
+        # restart with no faults: recovery resumes the unfinished
+        # remainder and the job completes
+        env.pop(faults.ENV_FAULT_PLAN, None)
+        proc, client = _spawn_serve(tmp_path, env)
+        try:
+            status = client.wait(job["id"], timeout=120)
+            assert status["state"] == "completed"
+            assert status["completed"] == 2
+            assert all(r["stats"] is not None for r in status["results"])
+            # the point that finished before SIGTERM came from the
+            # shared store — only the remainder was simulated
+            assert client.stats()["points_simulated"] == 1
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
