@@ -17,6 +17,7 @@ from typing import List, Optional
 
 from repro import __version__
 from repro.bench.harness import (
+    append_history,
     compare_counters,
     load_result,
     run_benchmarks,
@@ -81,6 +82,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="compare deterministic event counters against this baseline file "
         "and exit 1 on any drift (wall-clock is never compared)",
     )
+    parser.add_argument(
+        "--append-history",
+        nargs="?",
+        const="benchmarks/history.jsonl",
+        default=None,
+        metavar="FILE",
+        help="append one JSON line (scenario medians + machine fingerprint) "
+        "to FILE (default: benchmarks/history.jsonl), tracking the perf "
+        "trajectory across runs instead of a single before/after pair",
+    )
     args = parser.parse_args(argv)
     repeat = args.repeat if args.repeat is not None else (3 if args.quick else 5)
     if repeat < 1:
@@ -97,6 +108,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     out_path = Path(args.out_dir) / f"BENCH_{args.label}.json"
     write_result(result, out_path)
+    if args.append_history:
+        try:
+            history_path = append_history(result, args.append_history)
+        except OSError as error:
+            print(
+                f"repro-bench: cannot append history to "
+                f"{args.append_history!r}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"appended history record to {history_path}")
 
     print(f"{'scenario':<18} {'median s':>10} {'items/s':>14}")
     for name, sres in result.scenarios.items():

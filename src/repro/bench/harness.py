@@ -29,6 +29,7 @@ informative only and never gate anything.
 
 from __future__ import annotations
 
+import datetime
 import json
 import platform
 import statistics
@@ -42,8 +43,10 @@ from repro.bench.scenarios import SCENARIOS, Scenario, time_scenario
 __all__ = [
     "BenchResult",
     "ScenarioResult",
+    "append_history",
     "compare_counters",
     "load_result",
+    "machine_fingerprint",
     "run_benchmarks",
     "write_result",
 ]
@@ -153,6 +156,55 @@ def run_benchmarks(
                 file=sys.stderr,
             )
     return result
+
+
+def machine_fingerprint() -> Dict[str, str]:
+    """Stable description of the machine a benchmark ran on.
+
+    Wall-clock numbers are only comparable within one fingerprint;
+    history records carry it so cross-machine entries are never
+    mistaken for a perf regression.
+    """
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+    }
+
+
+def append_history(result: BenchResult, path: Union[str, Path]) -> Path:
+    """Append one JSON line of scenario medians to the history file.
+
+    The file is append-only (one record per bench invocation), so the
+    perf trajectory across PRs accumulates instead of overwriting a
+    single before/after pair.  Records are self-describing: timestamp,
+    label/mode, the machine fingerprint, and per-scenario medians and
+    throughputs.
+    """
+    path = Path(path)
+    record = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "label": result.label,
+        "mode": result.mode,
+        "repeat": result.repeat,
+        "machine": machine_fingerprint(),
+        "scenarios": {
+            name: {
+                "wall_seconds_median": round(res.wall_seconds_median, 6),
+                "items_per_second": round(res.items_per_second, 1),
+                "work_items": res.work_items,
+            }
+            for name, res in result.scenarios.items()
+        },
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
 
 
 def write_result(result: BenchResult, path: Union[str, Path]) -> Path:

@@ -63,16 +63,20 @@ class System:
         self.core = OutOfOrderCore(config, self.hierarchy, self.stats, obs=obs, san=san)
         self._clock = 0.0
 
-    def run(self, trace: Trace) -> SimStats:
-        """Execute ``trace`` on this system; returns accumulated stats."""
-        self._clock = self.core.run(trace, start_time=self._clock)
+    def run(self, trace: Trace, columns=None) -> SimStats:
+        """Execute ``trace`` on this system; returns accumulated stats.
+
+        ``columns`` optionally passes the precompiled trace columns
+        (``CompiledTrace.base_columns()``) through to the core loop.
+        """
+        self._clock = self.core.run(trace, start_time=self._clock, columns=columns)
         if self.san is not None:
             # End-of-run structural sweep: tag/recency mirrors,
             # conservation counts, shadow-vs-real DRAM bank state.
             self.san.quiesce(self._clock)
         return self.stats
 
-    def warmup(self, trace: Trace) -> None:
+    def warmup(self, trace: Trace, columns=None) -> None:
         """Run ``trace`` to warm caches and DRAM state, then zero the
         statistics; the simulated clock keeps advancing so utilization
         accounting stays consistent.  Observability is muted for the
@@ -81,7 +85,7 @@ class System:
         if self.obs is not None:
             self.obs.mute()
         try:
-            self.run(trace)
+            self.run(trace, columns=columns)
         finally:
             if self.obs is not None:
                 self.obs.unmute()
@@ -94,6 +98,7 @@ def simulate(
     warmup_trace: Optional[Trace] = None,
     obs: "Optional[Observer]" = None,
     sanitize: "Union[bool, Sanitizer, None]" = None,
+    fast: Optional[bool] = None,
 ) -> SimStats:
     """Run ``trace`` on a fresh system built from ``config``.
 
@@ -103,7 +108,28 @@ def simulate(
     optionally records traces/histograms/timelines without perturbing
     the statistics; ``sanitize`` runs the same simulation under the
     runtime invariant checker.
+
+    ``fast`` selects the specialized kernel in :mod:`repro.kernel`
+    (``None`` reads the ``REPRO_FAST`` environment opt-in).  The fast
+    kernel produces byte-identical statistics; the reference kernel
+    remains authoritative and is always used when observability or
+    sanitizing is requested, or for geometries the fast kernel does
+    not specialize.
     """
+    if obs is None and not sanitize:
+        # Imported lazily: repro.kernel pulls in the full component
+        # stack, and most simulate() callers never opt in.
+        from repro.kernel.fastcore import FastSystem, fast_enabled, kernel_supports
+
+        if fast is None:
+            fast = fast_enabled()
+        if fast and kernel_supports(config):
+            from repro.kernel.compiled import compile_trace
+
+            fast_system = FastSystem(config)
+            if warmup_trace is not None:
+                fast_system.warmup(compile_trace(warmup_trace))
+            return fast_system.run(compile_trace(trace))
     system = System(config, obs=obs, sanitize=sanitize)
     if warmup_trace is not None:
         system.warmup(warmup_trace)

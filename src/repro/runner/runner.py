@@ -405,6 +405,20 @@ class Runner:
             scheduled.add(key)
             pending.append((key, point))
 
+        # Group pending points by their trace recipe before dispatch:
+        # points sharing a trace land consecutively, so each process's
+        # trace / compiled-column / warm-state memos (repro.kernel) hit
+        # instead of thrashing.  Results are re-ordered by ``keys`` at
+        # the end, so callers still see their original order.
+        pending.sort(
+            key=lambda kp: (
+                kp[1].benchmark,
+                kp[1].memory_refs,
+                kp[1].seed,
+                kp[1].config.l2.size_bytes,
+            )
+        )
+
         if pending:
             self._execute(pending)
         return [

@@ -9,8 +9,11 @@ the on-disk cache stores — so every execution path (inline, pooled,
 cached) materializes results through one exact round trip.
 
 Trace construction costs a sizable fraction of simulating the trace, so
-each process memoizes the most recent traces (the parent's memo also
-backs :func:`repro.experiments.common.get_traces`).
+it is amortized at two levels: each process memoizes the most recent
+traces (the parent's memo also backs
+:func:`repro.experiments.common.get_traces`), and a machine-wide
+content-addressed store (:mod:`repro.kernel.store`) shares built traces
+across worker processes and runner invocations.
 """
 
 from __future__ import annotations
@@ -20,6 +23,9 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.system import System
 from repro.cpu.trace import Trace
+from repro.kernel.batch import simulate_fast
+from repro.kernel.fastcore import fast_enabled, kernel_supports
+from repro.kernel.store import trace_store_from_env
 from repro.runner import faults
 from repro.workloads import build_trace
 from repro.workloads.registry import build_warmup_trace
@@ -28,6 +34,27 @@ __all__ = ["execute_point", "get_traces"]
 
 _TRACE_MEMO: Dict[Tuple[str, int, int, int], Tuple[Trace, Trace]] = {}
 _TRACE_MEMO_LIMIT = 8
+
+
+def _build_traces(
+    benchmark: str, memory_refs: int, seed: int, l2_bytes: int
+) -> Tuple[Trace, Trace]:
+    """Construct (warm, main), going through the on-disk store when one
+    is configured: first process on the machine builds and publishes,
+    the rest load.  Store failures silently fall back to building."""
+    store = trace_store_from_env()
+    if store is None:
+        warm = build_warmup_trace(benchmark, seed=seed, l2_bytes=l2_bytes)
+        main = build_trace(benchmark, memory_refs, seed=seed)
+        return warm, main
+    key = store.recipe_key(benchmark, memory_refs, seed, l2_bytes)
+    cached = store.load(key)
+    if cached is not None:
+        return cached
+    warm = build_warmup_trace(benchmark, seed=seed, l2_bytes=l2_bytes)
+    main = build_trace(benchmark, memory_refs, seed=seed)
+    store.save(key, warm, main)
+    return warm, main
 
 
 def get_traces(
@@ -41,15 +68,17 @@ def get_traces(
     if key not in _TRACE_MEMO:
         if len(_TRACE_MEMO) >= _TRACE_MEMO_LIMIT:
             _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
-        warm = build_warmup_trace(benchmark, seed=seed, l2_bytes=l2_bytes)
-        main = build_trace(benchmark, memory_refs, seed=seed)
-        _TRACE_MEMO[key] = (warm, main)
+        _TRACE_MEMO[key] = _build_traces(benchmark, memory_refs, seed, l2_bytes)
     warm, main = _TRACE_MEMO[key]
     return (warm if len(warm) else None), main
 
 
 def execute_point(
-    point, attempt: int = 0, obs=None, sanitize: bool = False
+    point,
+    attempt: int = 0,
+    obs=None,
+    sanitize: bool = False,
+    fast: Optional[bool] = None,
 ) -> Tuple[Dict[str, object], float]:
     """Simulate one :class:`~repro.runner.runner.SimPoint` from scratch.
 
@@ -74,12 +103,22 @@ def execute_point(
     boundary, so sanitized runs work in the pool.  A violated invariant
     raises :class:`~repro.sanitize.SanitizerError`, which pickles with
     its cycle/component/event context intact.
+
+    ``fast`` opts into the specialized kernel (:mod:`repro.kernel`);
+    ``None`` reads ``REPRO_FAST``, which pool workers inherit from the
+    parent environment.  The statistics are byte-identical either way;
+    observed or sanitized points always run the reference kernel.
     """
     faults.maybe_inject(point.label(), attempt)
     started = time.perf_counter()
     warm, main = get_traces(
         point.benchmark, point.memory_refs, point.seed, point.config.l2.size_bytes
     )
+    if fast is None:
+        fast = fast_enabled()
+    if fast and obs is None and not sanitize and kernel_supports(point.config):
+        stats = simulate_fast(main, point.config, warmup_trace=warm)
+        return stats.to_dict(), time.perf_counter() - started
     system = System(point.config, obs=obs, sanitize=sanitize)
     if warm is not None:
         system.warmup(warm)

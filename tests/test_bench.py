@@ -8,8 +8,10 @@ from repro.bench.cli import main as bench_main
 from repro.bench.harness import (
     BenchResult,
     ScenarioResult,
+    append_history,
     compare_counters,
     load_result,
+    machine_fingerprint,
     run_benchmarks,
     write_result,
 )
@@ -23,10 +25,19 @@ class TestScenarios:
             "hot_cache",
             "dram_bound",
             "prefetch_heavy",
+            "sweep_batch",
+            "sweep_indep",
             "trace_gen",
         }
         for scenario in SCENARIOS.values():
             assert scenario.quick_refs < scenario.full_refs
+
+    def test_sweep_pair_shares_refs_geometry(self):
+        """The batch/independent pair must stay comparable: same sizes,
+        so one bench file always reports an apples-to-apples ratio."""
+        batch, indep = SCENARIOS["sweep_batch"], SCENARIOS["sweep_indep"]
+        assert batch.full_refs == indep.full_refs
+        assert batch.quick_refs == indep.quick_refs
 
     def test_cache_micro_counters_are_exact(self):
         seconds, work, counters = time_scenario(SCENARIOS["cache_hit_micro"], 5_000)
@@ -137,6 +148,28 @@ class TestCompareCounters:
         assert compare_counters(current, baseline) == []
 
 
+class TestHistory:
+    def test_machine_fingerprint_fields(self):
+        fingerprint = machine_fingerprint()
+        assert set(fingerprint) == {
+            "platform", "machine", "processor", "python", "implementation",
+        }
+        assert all(isinstance(v, str) for v in fingerprint.values())
+
+    def test_append_history_record_shape(self, tmp_path):
+        result = _result_with({"hits": 100, "misses": 0})
+        path = append_history(result, tmp_path / "h.jsonl")
+        record = json.loads(path.read_text())
+        assert record["label"] == "x"
+        assert record["mode"] == "quick"
+        assert record["machine"] == machine_fingerprint()
+        scen = record["scenarios"]["cache_hit_micro"]
+        assert scen["work_items"] == 100
+        assert scen["wall_seconds_median"] == 0.1
+        # ISO-8601 UTC timestamp, to the second.
+        assert record["timestamp"].endswith("+00:00")
+
+
 class TestCli:
     ARGS = ["--quick", "--repeat", "1", "--warmup", "0", "--scenario", "cache_hit_micro"]
 
@@ -180,6 +213,38 @@ class TestCli:
         )
         assert rc == 2
         assert "cannot load baseline" in capsys.readouterr().err
+
+    def test_append_history_writes_jsonl(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        for label in ("a", "b"):
+            rc = bench_main(
+                self.ARGS
+                + ["--label", label, "--out-dir", str(tmp_path)]
+                + ["--append-history", str(history)]
+            )
+            assert rc == 0
+        assert "appended history record" in capsys.readouterr().out
+        lines = history.read_text().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert [r["label"] for r in records] == ["a", "b"]
+        for record in records:
+            assert record["mode"] == "quick"
+            assert record["machine"] == machine_fingerprint()
+            scen = record["scenarios"]["cache_hit_micro"]
+            assert scen["wall_seconds_median"] > 0
+            assert scen["items_per_second"] > 0
+
+    def test_append_history_unwritable_path_fails_cleanly(self, tmp_path, capsys):
+        blocked = tmp_path / "file"
+        blocked.write_text("not a directory")
+        rc = bench_main(
+            self.ARGS
+            + ["--label", "a", "--out-dir", str(tmp_path)]
+            + ["--append-history", str(blocked / "sub" / "history.jsonl")]
+        )
+        assert rc == 2
+        assert "cannot append history" in capsys.readouterr().err
 
     def test_committed_ci_baseline_matches_quick_geometry(self):
         """The committed CI baseline must stay in sync with the scenarios."""

@@ -102,5 +102,30 @@ def test_prefetch_stats_match_golden(workload):
     )
 
 
+#: representative points re-run on the opt-in fast kernel; the golden
+#: snapshot is generated on the reference kernel, so matching it here is
+#: the fast-on/fast-off byte-identity gate at the tiny-profile size.
+FAST_SPOT_CHECKS = (
+    ("baseline", "mcf"),
+    ("baseline", "eon"),
+    ("prefetch", "swim"),
+    ("prefetch", "mcf"),
+)
+
+
+@pytest.mark.parametrize("section,workload", FAST_SPOT_CHECKS)
+def test_fast_kernel_stats_match_golden(section, workload):
+    from repro.kernel import clear_warm_cache
+
+    clear_warm_cache()
+    stats, _ = execute_point(
+        SimPoint(workload, _config(section), MEMORY_REFS, SEED), fast=True
+    )
+    assert stats == _golden()[section][workload], (
+        f"the fast kernel drifted from the reference for {section}/{workload}; "
+        "REPRO_FAST must stay byte-identical — fix the kernel, never the snapshot"
+    )
+
+
 if __name__ == "__main__":
     _regenerate(Path(sys.argv[1]) if len(sys.argv) > 1 else GOLDEN_PATH)

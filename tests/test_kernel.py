@@ -1,0 +1,369 @@
+"""Unit tests for the ``repro.kernel`` performance layer.
+
+Covers the compiled-trace columns (against the reference per-record
+computations), the process-wide compile memo, the content-addressed
+on-disk trace store, the ``REPRO_FAST`` opt-in parsing, geometry
+support checks, warm-state memoization, and the batched driver's
+argument validation and sanitized fallback.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import CacheConfig, DRAMConfig, SystemConfig
+from repro.core.system import simulate
+from repro.cpu.trace import Trace
+from repro.dram.mapping import make_mapping
+from repro.kernel import (
+    CompiledTrace,
+    FastSystem,
+    TraceStore,
+    clear_compile_cache,
+    clear_warm_cache,
+    compile_trace,
+    fast_enabled,
+    kernel_supports,
+    simulate_batch,
+    simulate_fast,
+    trace_digest,
+    trace_store_from_env,
+)
+from repro.kernel.fastcore import _WARM_MEMO
+from repro.workloads import build_trace
+from repro.workloads.registry import build_warmup_trace
+
+
+@pytest.fixture(autouse=True)
+def _fresh_kernel_caches():
+    """Process-wide memos must not leak state between tests."""
+    clear_compile_cache()
+    clear_warm_cache()
+    yield
+    clear_compile_cache()
+    clear_warm_cache()
+
+
+def _trace(benchmark="mcf", refs=800, seed=0):
+    return build_trace(benchmark, refs, seed=seed)
+
+
+class TestCompiledColumns:
+    def test_base_columns_match_trace(self):
+        trace = _trace()
+        compiled = compile_trace(trace)
+        kinds, gaps, addrs, deps, pcs = compiled.base_columns()
+        assert kinds == trace.kinds.tolist()
+        assert gaps == trace.gaps.tolist()
+        assert addrs == trace.addrs.tolist()
+        assert deps == trace.deps.tolist()
+        assert pcs == trace.pcs.tolist()
+
+    def test_l1_columns_match_reference_set_index(self):
+        from repro.cache.hierarchy import AccessKind
+
+        trace = _trace("swim")
+        config = SystemConfig()
+        compiled = compile_trace(trace)
+        blocks, sets = compiled.l1_columns(config.l1i, config.l1d)
+        ifetch = int(AccessKind.IFETCH)
+        for i in range(len(trace)):
+            cache = config.l1i if int(trace.kinds[i]) == ifetch else config.l1d
+            addr = int(trace.addrs[i])
+            block = addr & ~(cache.block_bytes - 1)
+            assert blocks[i] == block
+            assert sets[i] == (block >> cache.block_offset_bits) & (
+                cache.num_sets - 1
+            )
+
+    @pytest.mark.parametrize("mapping", ["base", "xor"])
+    def test_coord_map_matches_reference_translate(self, mapping):
+        config = SystemConfig()
+        dram = DRAMConfig(mapping=mapping)
+        trace = _trace()
+        compiled = compile_trace(trace)
+        coords = compiled.coord_map(dram, config.l2.block_bytes)
+        reference = make_mapping(dram)
+        unique_blocks = {
+            int(a) & ~(config.l2.block_bytes - 1) for a in trace.addrs
+        }
+        assert set(coords) == unique_blocks
+        for block in sorted(unique_blocks)[:200]:
+            ref = reference.translate(block)
+            assert coords[block] == (ref.bank, ref.row)
+
+
+class TestCompileMemo:
+    def test_equal_content_shares_one_compilation(self):
+        first = _trace("gzip", 400)
+        second = _trace("gzip", 400)
+        assert first is not second
+        assert trace_digest(first) == trace_digest(second)
+        assert compile_trace(first) is compile_trace(second)
+
+    def test_different_content_differs(self):
+        assert trace_digest(_trace("gzip", 400)) != trace_digest(
+            _trace("gzip", 400, seed=1)
+        )
+
+    def test_same_object_shortcut_survives_memo_eviction(self):
+        trace = _trace("gzip", 400)
+        compiled = compile_trace(trace)
+        # Evict everything from the digest memo; the id-keyed shortcut
+        # still returns the same object for the same Trace instance.
+        for seed in range(20):
+            compile_trace(_trace("gzip", 200, seed=seed))
+        assert compile_trace(trace) is compiled
+
+
+class TestTraceStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = TraceStore(tmp_path)
+        warm = build_warmup_trace("mcf", seed=0, l2_bytes=1 << 20)
+        main = _trace()
+        key = store.recipe_key("mcf", 800, 0, 1 << 20)
+        assert store.save(key, warm, main)
+        loaded = store.load(key)
+        assert loaded is not None
+        loaded_warm, loaded_main = loaded
+        assert trace_digest(loaded_warm) == trace_digest(warm)
+        assert trace_digest(loaded_main) == trace_digest(main)
+        assert loaded_main.name == main.name
+
+    def test_load_miss_returns_none(self, tmp_path):
+        assert TraceStore(tmp_path).load("0" * 64) is None
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        store = TraceStore(tmp_path)
+        warm = build_warmup_trace("mcf", seed=0, l2_bytes=1 << 20)
+        key = store.recipe_key("mcf", 800, 0, 1 << 20)
+        assert store.save(key, warm, _trace())
+        path = tmp_path / f"{key}.npz"
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert store.load(key) is None
+
+    def test_unwritable_root_returns_false(self, tmp_path):
+        blocked = tmp_path / "file"
+        blocked.write_text("not a directory")
+        store = TraceStore(blocked / "sub")
+        assert not store.save("k" * 64, _trace(), _trace())
+
+    def test_recipe_key_distinguishes_every_field(self):
+        base = TraceStore.recipe_key("mcf", 800, 0, 1 << 20)
+        assert TraceStore.recipe_key("swim", 800, 0, 1 << 20) != base
+        assert TraceStore.recipe_key("mcf", 801, 0, 1 << 20) != base
+        assert TraceStore.recipe_key("mcf", 800, 1, 1 << 20) != base
+        assert TraceStore.recipe_key("mcf", 800, 0, 1 << 19) != base
+
+    def test_env_selection(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_STORE", str(tmp_path))
+        store = trace_store_from_env()
+        assert store is not None and store.root == tmp_path
+        for off in ("0", "off", "false", "no", ""):
+            monkeypatch.setenv("REPRO_TRACE_STORE", off)
+            assert trace_store_from_env() is None
+        monkeypatch.delenv("REPRO_TRACE_STORE")
+        default = trace_store_from_env()
+        assert default is not None and default.root.name == "traces"
+
+
+class TestFastOptIn:
+    @pytest.mark.parametrize("value", ["1", "true", "TRUE", "yes", "on"])
+    def test_enabled_values(self, value):
+        assert fast_enabled(value)
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "false", "no", "nope"])
+    def test_disabled_values(self, value):
+        assert not fast_enabled(value)
+
+    def test_reads_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAST", raising=False)
+        assert not fast_enabled()
+        monkeypatch.setenv("REPRO_FAST", "1")
+        assert fast_enabled()
+
+    def test_simulate_defaults_to_reference_without_opt_in(self, monkeypatch):
+        """REPRO_FAST unset means the reference kernel runs (default-off)."""
+        monkeypatch.delenv("REPRO_FAST", raising=False)
+        trace = _trace(refs=300)
+        assert (
+            simulate(trace, SystemConfig()).to_dict()
+            == simulate(trace, SystemConfig(), fast=True).to_dict()
+        )
+
+
+class TestKernelSupports:
+    def test_default_config_supported(self):
+        assert kernel_supports(SystemConfig())
+
+    def test_odd_l1i_geometry_falls_back(self):
+        config = SystemConfig(
+            l1i=CacheConfig(
+                size_bytes=16 * 1024, assoc=1, block_bytes=256, hit_latency=1
+            )
+        )
+        assert not kernel_supports(config)
+        # simulate(fast=True) must transparently take the reference path
+        # and still match the reference result.
+        trace = _trace(refs=300)
+        assert (
+            simulate(trace, config, fast=True).to_dict()
+            == simulate(trace, config, fast=False).to_dict()
+        )
+
+
+class TestWarmMemo:
+    def test_repeat_warmup_restores_identical_state(self):
+        config = SystemConfig().with_prefetch(enabled=True)
+        warm = compile_trace(build_warmup_trace("swim", seed=0, l2_bytes=1 << 20))
+        main = compile_trace(build_trace("swim", 1_000, seed=0))
+
+        first = FastSystem(config)
+        first.warmup(warm)
+        assert len(_WARM_MEMO) == 1
+        cold = first.run(main).to_dict()
+
+        second = FastSystem(config)
+        second.warmup(warm)  # memo hit: restores instead of re-simulating
+        assert len(_WARM_MEMO) == 1
+        assert second.run(main).to_dict() == cold
+
+    def test_memo_keyed_by_config_and_digest(self):
+        warm = compile_trace(build_warmup_trace("mcf", seed=0, l2_bytes=1 << 20))
+        for config in (SystemConfig(), SystemConfig().with_prefetch(enabled=True)):
+            system = FastSystem(config)
+            system.warmup(warm)
+        assert len(_WARM_MEMO) == 2
+
+    def test_stride_engine_skips_memo(self):
+        config = SystemConfig().with_prefetch(enabled=True, engine="stride")
+        warm = compile_trace(build_warmup_trace("mcf", seed=0, l2_bytes=1 << 20))
+        system = FastSystem(config)
+        system.warmup(warm)
+        assert len(_WARM_MEMO) == 0
+
+    def test_non_fresh_system_never_memoizes(self):
+        warm = compile_trace(build_warmup_trace("mcf", seed=0, l2_bytes=1 << 20))
+        main = compile_trace(_trace(refs=300))
+        system = FastSystem(SystemConfig())
+        system.run(main)
+        system.warmup(warm)
+        assert len(_WARM_MEMO) == 0
+
+    def test_clear_warm_cache(self):
+        warm = compile_trace(build_warmup_trace("mcf", seed=0, l2_bytes=1 << 20))
+        FastSystem(SystemConfig()).warmup(warm)
+        assert _WARM_MEMO
+        clear_warm_cache()
+        assert not _WARM_MEMO
+
+
+class TestSimulateBatch:
+    def test_warmup_argument_validation(self):
+        trace = _trace(refs=200)
+        warm = build_warmup_trace("mcf", seed=0, l2_bytes=1 << 20)
+        with pytest.raises(ValueError, match="not both"):
+            simulate_batch(
+                trace, [SystemConfig()], warmup_trace=warm, warmup_traces=[warm]
+            )
+        with pytest.raises(ValueError, match="entries"):
+            simulate_batch(trace, [SystemConfig()], warmup_traces=[warm, warm])
+
+    def test_per_config_warmup_traces(self):
+        trace = _trace(refs=400)
+        warm = build_warmup_trace("mcf", seed=0, l2_bytes=1 << 20)
+        configs = [SystemConfig(), SystemConfig()]
+        batched = simulate_batch(
+            trace, configs, warmup_traces=[warm, None], fast=True
+        )
+        assert (
+            batched[0].to_dict()
+            == simulate(trace, configs[0], warmup_trace=warm, fast=False).to_dict()
+        )
+        assert (
+            batched[1].to_dict()
+            == simulate(trace, configs[1], fast=False).to_dict()
+        )
+
+    def test_sanitized_batch_is_clean_and_identical(self):
+        """The batched driver under the sanitizer: reference path, zero
+        violations, and statistics identical to the fast batch."""
+        trace = _trace("swim", refs=800)
+        configs = [SystemConfig(), SystemConfig().with_prefetch(enabled=True)]
+        sanitized = simulate_batch(trace, configs, sanitize=True)
+        fast = simulate_batch(trace, configs, fast=True)
+        for clean, quick in zip(sanitized, fast):
+            assert clean.to_dict() == quick.to_dict()
+
+
+class TestSimulateFastEntryPoint:
+    def test_matches_reference_with_warmup(self):
+        config = SystemConfig()
+        warm = build_warmup_trace("mcf", seed=0, l2_bytes=config.l2.size_bytes)
+        main = _trace(refs=600)
+        assert (
+            simulate_fast(main, config, warmup_trace=warm).to_dict()
+            == simulate(main, config, warmup_trace=warm, fast=False).to_dict()
+        )
+
+    def test_stats_serialize_identically(self):
+        """The fast kernel's stats must survive the exact round trip the
+        runner cache uses."""
+        main = _trace(refs=400)
+        fast = simulate_fast(main, SystemConfig())
+        reference = simulate(main, SystemConfig(), fast=False)
+        assert json.dumps(fast.to_dict(), sort_keys=True) == json.dumps(
+            reference.to_dict(), sort_keys=True
+        )
+
+
+class TestStoreBackedTraces:
+    def test_worker_builds_publish_and_reload(self, tmp_path, monkeypatch):
+        from repro.runner import worker
+
+        monkeypatch.setenv("REPRO_TRACE_STORE", str(tmp_path))
+        monkeypatch.setattr(worker, "_TRACE_MEMO", {})
+        warm, main = worker.get_traces("mcf", 500, 0, 1 << 20)
+        entries = list(tmp_path.glob("*.npz"))
+        assert len(entries) == 1
+        # A fresh memo (a new worker process) must load, not rebuild:
+        # the loaded traces are content-identical to the built ones.
+        monkeypatch.setattr(worker, "_TRACE_MEMO", {})
+        warm2, main2 = worker.get_traces("mcf", 500, 0, 1 << 20)
+        assert trace_digest(main2) == trace_digest(main)
+        assert trace_digest(warm2) == trace_digest(warm)
+        assert list(tmp_path.glob("*.npz")) == entries
+
+
+def test_compiled_trace_len_and_explicit_digest():
+    trace = _trace(refs=200)
+    digest = trace_digest(trace)
+    compiled = CompiledTrace(trace, digest)
+    assert len(compiled) == len(trace)
+    assert compiled.digest == digest
+    assert CompiledTrace(trace).digest == digest
+
+
+def test_trace_digest_covers_every_column():
+    base = _trace(refs=64)
+
+    def clone(**overrides):
+        fields = {
+            "name": base.name,
+            "description": base.description,
+            "kinds": base.kinds.copy(),
+            "gaps": base.gaps.copy(),
+            "addrs": base.addrs.copy(),
+            "deps": base.deps.copy(),
+            "pcs": base.pcs.copy(),
+        }
+        fields.update(overrides)
+        return Trace(**fields)
+
+    reference = trace_digest(clone())
+    assert reference == trace_digest(base)
+    for column in ("kinds", "gaps", "addrs", "deps", "pcs"):
+        mutated = getattr(base, column).copy()
+        mutated[0] = mutated[0] + 1
+        assert trace_digest(clone(**{column: mutated})) != reference
+    assert trace_digest(clone(name="other")) != reference

@@ -80,6 +80,39 @@ class TestRunnerDeterminism:
         assert_stats_equal(results[1], results[2])
 
 
+class TestTraceGrouping:
+    def test_dispatch_groups_by_trace_but_results_keep_input_order(
+        self, monkeypatch
+    ):
+        """Pending points are dispatched grouped by trace recipe (so the
+        per-process trace/compile/warm-state memos hit), while the
+        returned results still follow the caller's order."""
+        from repro.runner import runner as runner_module
+
+        executed = []
+
+        def fake_execute(point, attempt=0, **kwargs):
+            executed.append((point.benchmark, point.seed))
+            stats = SimStats()
+            stats.instructions = len(executed)  # stamp execution order
+            return stats.to_dict(), 0.0
+
+        monkeypatch.setattr(runner_module, "execute_point", fake_execute)
+        config = xor_4ch_64b()
+        points = [
+            SimPoint(benchmark=name, config=config, memory_refs=REFS, seed=seed)
+            for name, seed in (
+                ("swim", 0), ("mcf", 0), ("swim", 1), ("mcf", 1),
+            )
+        ]
+        results = Runner(jobs=1, cache_dir=None).run_points(points)
+        # dispatch order: grouped by benchmark (each group shares traces)
+        assert executed == [("mcf", 0), ("mcf", 1), ("swim", 0), ("swim", 1)]
+        # result order: exactly the caller's
+        order = [int(r.instructions) for r in results]
+        assert order == [3, 1, 4, 2]
+
+
 class TestRunnerDedup:
     def test_duplicate_points_simulate_once(self):
         points = make_points(("mcf", "mcf", "mcf"))
