@@ -9,6 +9,11 @@ with warmup/repeat/median methodology, and writes the results to a
 instructions, …), which CI compares against a committed baseline:
 wall-clock numbers vary with the machine, but the counters must not,
 so the perf-smoke gate is flake-free on shared runners.
+
+Wall-clock trends live in :mod:`repro.bench.history` (append-only
+``history.jsonl`` records, bootstrap-CI regression gate behind
+``repro-bench --check-history``) and :mod:`repro.bench.report`
+(``repro-bench report`` markdown trend reports).
 """
 
 from repro.bench.harness import (
@@ -18,14 +23,30 @@ from repro.bench.harness import (
     run_benchmarks,
     write_result,
 )
+from repro.bench.history import (
+    HistoryCheck,
+    HistoryRecord,
+    bootstrap_ci,
+    check_history,
+    fingerprint_key,
+    load_history,
+)
+from repro.bench.report import render_report
 from repro.bench.scenarios import SCENARIOS, Scenario
 
 __all__ = [
     "BenchResult",
+    "HistoryCheck",
+    "HistoryRecord",
     "Scenario",
     "SCENARIOS",
     "ScenarioResult",
+    "bootstrap_ci",
+    "check_history",
     "compare_counters",
+    "fingerprint_key",
+    "load_history",
+    "render_report",
     "run_benchmarks",
     "write_result",
 ]

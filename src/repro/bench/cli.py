@@ -5,7 +5,13 @@ Times the simulator's representative hot-path scenarios and writes
 ``--check BASELINE.json`` the deterministic event counters of the run
 are compared against the baseline file and a drift fails the process —
 this is the CI perf-smoke gate, deliberately independent of wall-clock
-time so it cannot flake on loaded shared runners.
+time so it cannot flake on loaded shared runners.  ``--check-history``
+adds the statistical wall-clock gate (:mod:`repro.bench.history`):
+bootstrap CIs over the recorded history, regression only when the
+intervals separate by more than the threshold.
+
+``repro-bench report`` renders the history file as a markdown trend
+report (:mod:`repro.bench.report`) instead of running benchmarks.
 """
 
 from __future__ import annotations
@@ -27,12 +33,59 @@ from repro.bench.scenarios import SCENARIOS
 
 __all__ = ["main"]
 
+DEFAULT_HISTORY = "benchmarks/history.jsonl"
+
+
+def _report_main(argv: List[str]) -> int:
+    """``repro-bench report``: render the history trend report."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench report",
+        description="Render benchmarks/history.jsonl as a markdown trend report "
+        "(per-scenario median/CI tables, sparklines, latest-vs-best deltas).",
+    )
+    parser.add_argument(
+        "--history",
+        default=DEFAULT_HISTORY,
+        metavar="FILE",
+        help=f"history JSONL to read (default: {DEFAULT_HISTORY})",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="append",
+        default=None,
+        metavar="FILE",
+        help="obs metrics JSON (repro-experiment --metrics) to render "
+        "p50/p95/p99 tables from (repeatable)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the report here instead of stdout",
+    )
+    args = parser.parse_args(argv)
+    from repro.bench.history import load_history
+    from repro.bench.report import render_report
+
+    records = load_history(args.history)
+    text = render_report(records, metrics_paths=args.metrics)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out} ({len(records)} history records)", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "report":
+        return _report_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Benchmark the simulator's hot paths (deterministic workloads, "
-        "warmup/repeat/median timing).",
+        "warmup/repeat/median timing).  Use 'repro-bench report' to render the "
+        "history trend report.",
     )
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
@@ -83,14 +136,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         "and exit 1 on any drift (wall-clock is never compared)",
     )
     parser.add_argument(
-        "--append-history",
+        "--check-history",
         nargs="?",
-        const="benchmarks/history.jsonl",
+        const=DEFAULT_HISTORY,
         default=None,
         metavar="FILE",
-        help="append one JSON line (scenario medians + machine fingerprint) "
-        "to FILE (default: benchmarks/history.jsonl), tracking the perf "
-        "trajectory across runs instead of a single before/after pair",
+        help="statistical wall-clock gate: bootstrap-CI the current repeats "
+        "against the recorded history (same machine group and mode) and exit "
+        f"1 only when the CIs separate beyond the threshold "
+        f"(default FILE: {DEFAULT_HISTORY})",
+    )
+    parser.add_argument(
+        "--history-threshold",
+        type=float,
+        default=0.10,
+        metavar="FRAC",
+        help="CI separation fraction for --check-history (default: 0.10)",
+    )
+    parser.add_argument(
+        "--history-window",
+        type=int,
+        default=5,
+        metavar="N",
+        help="latest N comparable history records form the baseline (default: 5)",
+    )
+    parser.add_argument(
+        "--append-history",
+        nargs="?",
+        const=DEFAULT_HISTORY,
+        default=None,
+        metavar="FILE",
+        help="append one JSON line (per-repeat wall samples + machine "
+        f"fingerprint + source identity) to FILE (default: {DEFAULT_HISTORY}), "
+        "tracking the perf trajectory across runs instead of a single "
+        "before/after pair",
     )
     args = parser.parse_args(argv)
     repeat = args.repeat if args.repeat is not None else (3 if args.quick else 5)
@@ -98,6 +177,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"--repeat must be >= 1, got {repeat}")
     if args.warmup < 0:
         parser.error(f"--warmup must be >= 0, got {args.warmup}")
+    if args.history_window < 1:
+        parser.error(f"--history-window must be >= 1, got {args.history_window}")
+    if args.history_threshold < 0:
+        parser.error(
+            f"--history-threshold must be >= 0, got {args.history_threshold}"
+        )
 
     result = run_benchmarks(
         label=args.label,
@@ -108,6 +193,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     out_path = Path(args.out_dir) / f"BENCH_{args.label}.json"
     write_result(result, out_path)
+
+    # Gate against history *before* appending this run to it, else the
+    # regression would immediately contaminate its own baseline.
+    history_failed = False
+    if args.check_history:
+        from repro.bench.history import check_history
+
+        check = check_history(
+            result,
+            args.check_history,
+            threshold=args.history_threshold,
+            window=args.history_window,
+        )
+        for note in check.notes:
+            print(f"history: {note}", file=sys.stderr)
+        if not check.ok:
+            print(
+                f"repro-bench: wall-clock regression vs {args.check_history}:",
+                file=sys.stderr,
+            )
+            for problem in check.problems:
+                print(f"  - {problem}", file=sys.stderr)
+            history_failed = True
+        else:
+            print(f"history gate ok ({args.check_history})")
+
     if args.append_history:
         try:
             history_path = append_history(result, args.append_history)
@@ -138,7 +249,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"  - {problem}", file=sys.stderr)
             return 1
         print(f"counters match baseline {args.check}")
-    return 0
+    return 1 if history_failed else 0
 
 
 if __name__ == "__main__":

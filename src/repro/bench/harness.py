@@ -31,8 +31,10 @@ from __future__ import annotations
 
 import datetime
 import json
+import os
 import platform
 import statistics
+import subprocess
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -158,7 +160,31 @@ def run_benchmarks(
     return result
 
 
-def machine_fingerprint() -> Dict[str, str]:
+def _processor_name() -> str:
+    """``platform.processor()`` with a ``/proc/cpuinfo`` fallback.
+
+    On most Linux distributions ``platform.processor()`` returns an
+    empty string (or a bare ISA name like ``x86_64``), which would
+    conflate every Linux box into one history group.  Fall back to the
+    ``model name`` line of ``/proc/cpuinfo`` when available.
+    """
+    name = platform.processor().strip()
+    if name and name != platform.machine():
+        return name
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                key, _, value = line.partition(":")
+                if key.strip() in ("model name", "Hardware", "cpu model"):
+                    normalized = " ".join(value.split())
+                    if normalized:
+                        return normalized
+    except OSError:
+        pass
+    return name
+
+
+def machine_fingerprint() -> Dict[str, object]:
     """Stable description of the machine a benchmark ran on.
 
     Wall-clock numbers are only comparable within one fingerprint;
@@ -168,10 +194,27 @@ def machine_fingerprint() -> Dict[str, str]:
     return {
         "platform": platform.platform(),
         "machine": platform.machine(),
-        "processor": platform.processor(),
+        "processor": _processor_name(),
+        "cpu_count": os.cpu_count() or 0,
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
     }
+
+
+def _git_commit() -> Optional[str]:
+    """Current git commit hash, or None outside a repo / without git."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    commit = proc.stdout.strip()
+    return commit if proc.returncode == 0 and commit else None
 
 
 def append_history(result: BenchResult, path: Union[str, Path]) -> Path:
@@ -180,10 +223,18 @@ def append_history(result: BenchResult, path: Union[str, Path]) -> Path:
     The file is append-only (one record per bench invocation), so the
     perf trajectory across PRs accumulates instead of overwriting a
     single before/after pair.  Records are self-describing: timestamp,
-    label/mode, the machine fingerprint, and per-scenario medians and
-    throughputs.
+    label/mode, the machine fingerprint, source identity (package
+    content hash + git commit when available), and per-scenario medians
+    plus the full list of per-repeat wall times — the raw samples the
+    bootstrap CI gate in :mod:`repro.bench.history` resamples.
     """
     path = Path(path)
+    try:
+        from repro.runner.runner import source_fingerprint
+
+        source = source_fingerprint()
+    except Exception:
+        source = None
     record = {
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
             timespec="seconds"
@@ -192,8 +243,11 @@ def append_history(result: BenchResult, path: Union[str, Path]) -> Path:
         "mode": result.mode,
         "repeat": result.repeat,
         "machine": machine_fingerprint(),
+        "source_fingerprint": source,
+        "git_commit": _git_commit(),
         "scenarios": {
             name: {
+                "wall_seconds": [round(s, 6) for s in res.wall_seconds],
                 "wall_seconds_median": round(res.wall_seconds_median, 6),
                 "items_per_second": round(res.items_per_second, 1),
                 "work_items": res.work_items,

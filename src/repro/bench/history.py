@@ -1,0 +1,284 @@
+"""Statistical reading of the append-only bench history.
+
+``benchmarks/history.jsonl`` accumulates one JSON record per
+``repro-bench --append-history`` invocation.  This module turns that
+file into decisions and narratives:
+
+* :func:`load_history` — parse the JSONL tolerantly (torn tail lines
+  and unreadable records are skipped, not fatal) into
+  :class:`HistoryRecord` objects;
+* :func:`fingerprint_key` — a short stable digest of the machine
+  fingerprint, the grouping key under which wall-clock numbers are
+  comparable at all;
+* :func:`bootstrap_ci` — a deterministic bootstrap confidence interval
+  over recorded per-repeat wall times (seeded from the samples, so the
+  same history always produces the same interval);
+* :func:`check_history` — the statistical regression gate behind
+  ``repro-bench --check-history``: flag a scenario only when the new
+  run's CI separates from the historical baseline CI by more than a
+  configurable threshold.  Wall-clock noise on shared runners therefore
+  cannot flake the gate the way single-median comparisons would; the
+  deterministic counter gate (:func:`repro.bench.harness.compare_counters`)
+  stays authoritative for correctness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.bench.harness import BenchResult, machine_fingerprint
+
+__all__ = [
+    "HistoryCheck",
+    "HistoryRecord",
+    "bootstrap_ci",
+    "check_history",
+    "fingerprint_key",
+    "load_history",
+    "scenario_samples",
+]
+
+# Fingerprint fields that define "the same machine" for wall-clock
+# comparison purposes.  Python patch version is deliberately excluded:
+# 3.11.8 vs 3.11.9 numbers are comparable, but implementation and
+# major.minor are not (3.9 vs 3.13 differ by >2x on this workload).
+_KEY_FIELDS = ("machine", "processor", "cpu_count", "implementation")
+
+
+@dataclass
+class HistoryRecord:
+    """One parsed line of ``history.jsonl``."""
+
+    timestamp: str
+    label: str
+    mode: str
+    machine: Dict[str, object]
+    scenarios: Dict[str, Dict[str, object]]
+    repeat: int = 1
+    source_fingerprint: Optional[str] = None
+    git_commit: Optional[str] = None
+    line_number: int = 0
+
+    @property
+    def key(self) -> str:
+        return fingerprint_key(self.machine)
+
+
+@dataclass
+class HistoryCheck:
+    """Outcome of :func:`check_history`.
+
+    ``problems`` failing the gate; ``notes`` explaining what was (or
+    could not be) compared; ``details`` one row per compared scenario.
+    """
+
+    problems: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    details: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def fingerprint_key(machine: Dict[str, object]) -> str:
+    """Short stable digest of the comparable machine-fingerprint fields."""
+    parts = [f"{name}={machine.get(name, '')}" for name in _KEY_FIELDS]
+    py = str(machine.get("python", ""))
+    parts.append("python=" + ".".join(py.split(".")[:2]))
+    digest = hashlib.sha256("|".join(parts).encode()).hexdigest()
+    return digest[:12]
+
+
+def load_history(path: Union[str, Path]) -> List[HistoryRecord]:
+    """Parse ``history.jsonl``, skipping torn or malformed lines.
+
+    The file is written append-only by possibly-interrupted CI jobs, so
+    a torn final line is an expected condition, not corruption worth
+    failing a build over.  Old records (no ``wall_seconds`` sample
+    lists, no source identity) load fine with those fields defaulted.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: List[HistoryRecord] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(raw, dict):
+            continue
+        scenarios = raw.get("scenarios")
+        machine = raw.get("machine")
+        if not isinstance(scenarios, dict) or not isinstance(machine, dict):
+            continue
+        records.append(
+            HistoryRecord(
+                timestamp=str(raw.get("timestamp", "")),
+                label=str(raw.get("label", "")),
+                mode=str(raw.get("mode", "")),
+                machine=machine,
+                scenarios={
+                    str(k): v for k, v in scenarios.items() if isinstance(v, dict)
+                },
+                repeat=int(raw.get("repeat", 1) or 1),
+                source_fingerprint=raw.get("source_fingerprint"),
+                git_commit=raw.get("git_commit"),
+                line_number=lineno,
+            )
+        )
+    return records
+
+
+def scenario_samples(scenario: Dict[str, object]) -> List[float]:
+    """Per-repeat wall-time samples of one recorded scenario.
+
+    Records written before the bootstrap gate existed only carry the
+    median; treat it as a single sample so old history still anchors a
+    (wide) baseline instead of being discarded.
+    """
+    raw = scenario.get("wall_seconds")
+    if isinstance(raw, list) and raw:
+        samples = [float(s) for s in raw if isinstance(s, (int, float))]
+        if samples:
+            return samples
+    median = scenario.get("wall_seconds_median")
+    if isinstance(median, (int, float)) and median > 0:
+        return [float(median)]
+    return []
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sequence."""
+    if not ordered:
+        raise ValueError("no samples")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    weight = rank - lo
+    return ordered[lo] * (1.0 - weight) + ordered[hi] * weight
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 800,
+) -> Tuple[float, float, float]:
+    """Deterministic bootstrap CI ``(low, median, high)`` over samples.
+
+    Resamples with replacement and takes percentiles of the resampled
+    medians.  The RNG is seeded from the samples themselves, so the
+    same history file always yields the same interval — the gate's
+    accept/reject decision is reproducible, never a coin flip.
+    """
+    if not samples:
+        raise ValueError("bootstrap_ci needs at least one sample")
+    ordered = sorted(float(s) for s in samples)
+    median = statistics.median(ordered)
+    if len(ordered) == 1 or ordered[0] == ordered[-1]:
+        return (ordered[0], median, ordered[-1])
+    seed_material = ",".join(f"{s:.9f}" for s in ordered)
+    rng = random.Random(hashlib.sha256(seed_material.encode()).hexdigest())
+    n = len(ordered)
+    medians = sorted(
+        statistics.median(rng.choice(ordered) for _ in range(n))
+        for _ in range(resamples)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    return (_percentile(medians, alpha), median, _percentile(medians, 1.0 - alpha))
+
+
+def check_history(
+    current: BenchResult,
+    history: Union[str, Path, Sequence[HistoryRecord]],
+    threshold: float = 0.10,
+    window: int = 5,
+    machine: Optional[Dict[str, object]] = None,
+) -> HistoryCheck:
+    """Gate the current run against the recorded baseline statistically.
+
+    For each scenario, pool the per-repeat samples of the latest
+    ``window`` history records from the same machine-fingerprint group
+    and mode (and equal ``work_items``), bootstrap both CIs, and flag a
+    regression only when the current run's CI lower bound clears the
+    baseline CI upper bound by more than ``threshold`` (fractional).
+    No comparable history is a pass-with-note, never a failure: a new
+    CI runner fleet must not brick the gate.
+    """
+    if isinstance(history, (str, Path)):
+        records = load_history(history)
+    else:
+        records = list(history)
+    check = HistoryCheck()
+    key = fingerprint_key(machine if machine is not None else machine_fingerprint())
+    comparable = [r for r in records if r.key == key and r.mode == current.mode]
+    if not comparable:
+        check.notes.append(
+            f"no history records match this machine group ({key}) and "
+            f"mode {current.mode!r}; nothing to gate against"
+        )
+        return check
+    for name, cur in sorted(current.scenarios.items()):
+        if not cur.wall_seconds:
+            continue
+        matching = [
+            r
+            for r in comparable
+            if name in r.scenarios
+            and r.scenarios[name].get("work_items") == cur.work_items
+        ]
+        if not matching:
+            check.notes.append(
+                f"{name}: no comparable history records (same machine group, "
+                f"mode, and work_items); skipped"
+            )
+            continue
+        baseline: List[float] = []
+        used = matching[-window:]
+        for record in used:
+            baseline.extend(scenario_samples(record.scenarios[name]))
+        if not baseline:
+            check.notes.append(f"{name}: history records carry no wall samples; skipped")
+            continue
+        base_low, base_median, base_high = bootstrap_ci(baseline)
+        cur_low, cur_median, cur_high = bootstrap_ci(cur.wall_seconds)
+        limit = base_high * (1.0 + threshold)
+        regressed = cur_low > limit
+        check.details.append(
+            {
+                "scenario": name,
+                "baseline_records": len(used),
+                "baseline_samples": len(baseline),
+                "baseline_ci": (base_low, base_median, base_high),
+                "current_ci": (cur_low, cur_median, cur_high),
+                "limit": limit,
+                "regressed": regressed,
+            }
+        )
+        if regressed:
+            check.problems.append(
+                f"{name}: wall time regressed — current CI "
+                f"[{cur_low:.4f}s, {cur_high:.4f}s] (median {cur_median:.4f}s) "
+                f"sits above baseline CI "
+                f"[{base_low:.4f}s, {base_high:.4f}s] +{threshold:.0%} "
+                f"(limit {limit:.4f}s; {len(baseline)} baseline samples from "
+                f"{len(used)} records)"
+            )
+        else:
+            check.notes.append(
+                f"{name}: ok — current median {cur_median:.4f}s vs baseline "
+                f"median {base_median:.4f}s (limit {limit:.4f}s)"
+            )
+    return check

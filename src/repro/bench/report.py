@@ -1,0 +1,176 @@
+"""Markdown trend reports over the bench history (``repro-bench report``).
+
+Renders ``benchmarks/history.jsonl`` into a human-readable trajectory:
+per-machine sections (wall numbers are only comparable within one
+fingerprint group), per-scenario median/CI tables across history
+entries, unicode sparklines of the median trend, latest-vs-best deltas,
+and — when an obs metrics JSON (``repro-experiment --metrics``) is
+supplied — p50/p95/p99 latency-distribution tables from the merged
+histograms.  Pure string rendering over already-parsed records: no
+side effects, trivially testable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.bench.history import HistoryRecord, bootstrap_ci, scenario_samples
+
+__all__ = ["render_report", "render_metrics_tables", "sparkline"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode block sparkline of values (empty string for no values)."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK_CHARS[0] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK_CHARS) - 1) + 0.5)
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)
+
+
+def _fmt_seconds(value: float) -> str:
+    return f"{value:.4f}s"
+
+
+def _record_ident(record: HistoryRecord) -> str:
+    commit = (record.git_commit or "")[:9]
+    bits = [record.timestamp or "?", record.label or "?"]
+    if commit:
+        bits.append(commit)
+    return " / ".join(bits)
+
+
+def _machine_heading(record: HistoryRecord) -> str:
+    machine = record.machine
+    processor = str(machine.get("processor") or machine.get("machine") or "unknown")
+    cpus = machine.get("cpu_count")
+    py = machine.get("python", "?")
+    impl = machine.get("implementation", "")
+    parts = [processor]
+    if cpus:
+        parts.append(f"{cpus} CPUs")
+    parts.append(f"{impl} {py}".strip())
+    return ", ".join(parts)
+
+
+def _scenario_section(name: str, entries: List[HistoryRecord]) -> List[str]:
+    """Render one scenario's trend inside a machine/mode group."""
+    lines = [f"#### `{name}`", ""]
+    medians: List[float] = []
+    rows: List[str] = []
+    for record in entries:
+        scenario = record.scenarios[name]
+        samples = scenario_samples(scenario)
+        if not samples:
+            continue
+        low, median, high = bootstrap_ci(samples)
+        medians.append(median)
+        ips = scenario.get("items_per_second")
+        rows.append(
+            f"| {_record_ident(record)} | {_fmt_seconds(median)} "
+            f"| [{_fmt_seconds(low)}, {_fmt_seconds(high)}] "
+            f"| {len(samples)} | {ips if ips is not None else '—'} |"
+        )
+    if not rows:
+        return []
+    best = min(medians)
+    latest = medians[-1]
+    delta = (latest - best) / best * 100.0 if best > 0 else 0.0
+    lines.append(
+        f"trend: `{sparkline(medians)}`  ·  latest {_fmt_seconds(latest)} "
+        f"vs best {_fmt_seconds(best)} ({delta:+.1f}%)"
+    )
+    lines.append("")
+    lines.append("| run | median | 95% CI | samples | items/s |")
+    lines.append("|---|---|---|---|---|")
+    lines.extend(rows)
+    lines.append("")
+    return lines
+
+
+def render_metrics_tables(paths: Iterable[Union[str, Path]]) -> List[str]:
+    """p50/p95/p99 tables from obs metrics JSON files (when readable).
+
+    Accepts the ``repro-experiment --metrics`` output (ObsSession
+    payloads with ``merged_histogram_summary``) and single-observer
+    payloads with ``histogram_summary``; unreadable files are reported
+    inline rather than aborting the report.
+    """
+    lines: List[str] = []
+    for path in paths:
+        path = Path(path)
+        lines.append(f"### Latency distributions — `{path.name}`")
+        lines.append("")
+        try:
+            payload = json.loads(path.read_text())
+            summary = payload.get("merged_histogram_summary") or payload.get(
+                "histogram_summary"
+            )
+            if not isinstance(summary, dict) or not summary:
+                raise ValueError("no histogram summaries in payload")
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            lines.append(f"_unreadable: {exc}_")
+            lines.append("")
+            continue
+        lines.append("| histogram | samples | mean | p50 | p95 | p99 |")
+        lines.append("|---|---|---|---|---|---|")
+        for name in sorted(summary):
+            s = summary[name]
+            if not isinstance(s, dict):
+                continue
+            lines.append(
+                f"| `{name}` | {int(s.get('total', 0))} "
+                f"| {float(s.get('mean', 0.0)):.1f} "
+                f"| {float(s.get('p50', 0.0)):.0f} "
+                f"| {float(s.get('p95', 0.0)):.0f} "
+                f"| {float(s.get('p99', 0.0)):.0f} |"
+            )
+        lines.append("")
+    return lines
+
+
+def render_report(
+    records: Sequence[HistoryRecord],
+    metrics_paths: Optional[Iterable[Union[str, Path]]] = None,
+    title: str = "Benchmark trend report",
+) -> str:
+    """Render the full markdown trend report."""
+    lines: List[str] = [f"# {title}", ""]
+    if not records:
+        lines.append("_history is empty: nothing to report yet._")
+        return "\n".join(lines) + "\n"
+    lines.append(
+        f"{len(records)} history record(s); wall-clock numbers are grouped "
+        "by machine fingerprint and mode — comparisons only hold within a "
+        "group."
+    )
+    lines.append("")
+    # Group by (fingerprint key, mode), preserving first-seen order.
+    groups: Dict[object, List[HistoryRecord]] = {}
+    for record in records:
+        groups.setdefault((record.key, record.mode), []).append(record)
+    for (key, mode), entries in groups.items():
+        lines.append(f"## Machine `{key}` — mode `{mode}`")
+        lines.append("")
+        lines.append(f"{_machine_heading(entries[-1])}; {len(entries)} record(s).")
+        lines.append("")
+        scenario_names = sorted({n for r in entries for n in r.scenarios})
+        for name in scenario_names:
+            with_scenario = [r for r in entries if name in r.scenarios]
+            lines.extend(_scenario_section(name, with_scenario))
+    if metrics_paths:
+        lines.append("## Observability metrics")
+        lines.append("")
+        lines.extend(render_metrics_tables(metrics_paths))
+    return "\n".join(lines).rstrip() + "\n"

@@ -242,6 +242,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(point started/retried/timed-out/completed) to FILE",
     )
     parser.add_argument(
+        "--trace-id",
+        default=None,
+        metavar="ID",
+        help="correlation id stamped on every run-log event and obs "
+        "artifact, so one logical run is greppable across files "
+        "(default: REPRO_TRACE_ID, else unset)",
+    )
+    parser.add_argument(
         "--profile-sim",
         nargs="?",
         const="mcf",
@@ -283,11 +291,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         runner_kwargs["timeout"] = args.job_timeout
     if args.max_retries is not None:
         runner_kwargs["max_retries"] = args.max_retries
+    trace_id = args.trace_id or os.environ.get("REPRO_TRACE_ID") or None
     session = None
     if args.trace or args.metrics:
         from repro.obs import ObsSession
 
-        session = ObsSession(trace_path=args.trace, metrics_path=args.metrics)
+        session = ObsSession(
+            trace_path=args.trace, metrics_path=args.metrics, trace_id=trace_id
+        )
     run_log = None
     if args.run_log:
         from repro.obs import JsonlSink
@@ -305,6 +316,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             run_log=run_log,
             observe=session,
             sanitize=args.sanitize,
+            trace_id=trace_id,
             **runner_kwargs,
         )
     except OSError as error:

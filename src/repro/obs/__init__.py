@@ -19,7 +19,10 @@ makes them visible without perturbing the simulation:
   the :class:`ObsSession` that aggregates a CLI run;
 * :mod:`repro.obs.log` — the leveled stderr logger
   (``REPRO_LOG_LEVEL``) and the JSON-lines sink behind the runner's
-  structured run log.
+  structured run log;
+* :mod:`repro.obs.metrics` — the counter/gauge/histogram registry with
+  Prometheus text exposition (``GET /metrics`` on the service) and the
+  exposition-format validator.
 
 Quickstart::
 
@@ -37,6 +40,7 @@ Quickstart::
 
 from repro.obs.hist import LatencyHistogram
 from repro.obs.log import JsonlSink, Logger, get_logger
+from repro.obs.metrics import MetricsRegistry, render_prometheus, validate_exposition
 from repro.obs.observer import Observer, ObsSession, merge_histograms
 from repro.obs.timeline import Timeline
 from repro.obs.trace import TraceWriter, validate_trace
@@ -45,11 +49,13 @@ __all__ = [
     "JsonlSink",
     "LatencyHistogram",
     "Logger",
+    "MetricsRegistry",
     "ObsSession",
     "Observer",
     "Timeline",
     "TraceWriter",
     "get_logger",
     "merge_histograms",
-    "validate_trace",
+    "render_prometheus",
+    "validate_exposition",
 ]

@@ -231,12 +231,17 @@ class ObsSession:
         trace_path: Optional[Union[str, Path]] = None,
         metrics_path: Optional[Union[str, Path]] = None,
         window_cycles: int = DEFAULT_WINDOW_CYCLES,
+        trace_id: Optional[str] = None,
     ) -> None:
         if trace_path is None and metrics_path is None:
             raise ValueError("an ObsSession needs a trace path, a metrics path, or both")
         self.trace_path = Path(trace_path) if trace_path else None
         self.metrics_path = Path(metrics_path) if metrics_path else None
         self.window_cycles = window_cycles
+        #: correlation id stamped on every committed point entry and the
+        #: metrics payload, so a slow point found in a run log or a
+        #: service journal can be matched to its obs artifacts.
+        self.trace_id = trace_id
         self._next_pid = 0
         self._events: List[Dict[str, object]] = []
         self._points: List[Dict[str, object]] = []
@@ -262,6 +267,8 @@ class ObsSession:
         entry = obs.metrics_dict()
         if key is not None:
             entry["key"] = key
+        if self.trace_id is not None:
+            entry["trace_id"] = self.trace_id
         self._points.append(entry)
 
     def close(self) -> List[Path]:
@@ -277,7 +284,7 @@ class ObsSession:
             merged = merge_histograms(
                 [point.get("histograms", {}) for point in self._points]
             )
-            payload = {
+            payload: Dict[str, object] = {
                 "window_cycles": self.window_cycles,
                 "points": self._points,
                 "merged_histograms": {
@@ -287,6 +294,8 @@ class ObsSession:
                     name: hist.summary() for name, hist in sorted(merged.items())
                 },
             }
+            if self.trace_id is not None:
+                payload["trace_id"] = self.trace_id
             self.metrics_path.write_text(json.dumps(payload, indent=1) + "\n")
             written.append(self.metrics_path)
         return written

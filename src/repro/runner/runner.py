@@ -325,6 +325,7 @@ class Runner:
         run_log: Optional[JsonlSink] = None,
         observe: "Optional[ObsSession]" = None,
         sanitize: bool = False,
+        trace_id: Optional[str] = None,
     ) -> None:
         if jobs is None:
             jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
@@ -354,6 +355,11 @@ class Runner:
         self.run_log = run_log
         self.observe = observe
         self.sanitize = sanitize
+        if trace_id is None:
+            trace_id = os.environ.get("REPRO_TRACE_ID") or None
+        #: correlation id stamped on every run-log event (and threaded
+        #: into obs artifacts by the CLI); None = no stamping.
+        self.trace_id = trace_id
         #: executed simulations, in completion order.
         self.job_log: List[JobResult] = []
         #: every failure event, transient and fatal, in observation order.
@@ -651,6 +657,8 @@ class Runner:
     def _log_event(self, event: str, job: "_Job", **fields: object) -> None:
         """Append one structured record to the run log, if one is wired."""
         if self.run_log is not None:
+            if self.trace_id is not None:
+                fields.setdefault("trace_id", self.trace_id)
             self.run_log.event(
                 event,
                 label=job.point.label(),

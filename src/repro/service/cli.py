@@ -8,8 +8,9 @@ Subcommands:
 * ``wait``   — block until a job is terminal, print its final status;
 * ``smoke``  — self-contained end-to-end check: boot an ephemeral
   in-process service, submit a tiny sweep over real HTTP, wait for it,
-  and verify the returned statistics are field-for-field identical to
-  simulating the same points directly.  Exit 0 on success; used by CI.
+  verify the returned statistics are field-for-field identical to
+  simulating the same points directly, and validate the ``GET /metrics``
+  Prometheus exposition.  Exit 0 on success; used by CI.
 
 ``serve`` is production-shaped: SIGTERM/SIGINT trigger a *graceful
 drain* (stop admitting, finish in-flight jobs up to
@@ -173,12 +174,32 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0 if summary.get("state") != "failed" else 1
 
 
+def _format_duration(seconds: float) -> str:
+    """``93784.2`` → ``"1d 2h 3m 4s"`` (largest-first, zero parts dropped)."""
+    seconds = max(0, int(seconds))
+    parts: List[str] = []
+    for unit, span in (("d", 86400), ("h", 3600), ("m", 60)):
+        if seconds >= span:
+            parts.append(f"{seconds // span}{unit}")
+            seconds %= span
+    parts.append(f"{seconds}s")
+    return " ".join(parts)
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     client = ServiceClient(args.url)
     try:
         if args.job_id:
             print(json.dumps(client.job(args.job_id), indent=2))
         else:
+            stats = client.stats()
+            uptime = stats.get("uptime_seconds")
+            if isinstance(uptime, (int, float)):
+                print(
+                    f"repro-serve: service up {_format_duration(uptime)} "
+                    f"(started {stats.get('started_at', 'unknown')})",
+                    file=sys.stderr,
+                )
             print(json.dumps({"jobs": client.jobs()}, indent=2))
     except ServiceError as exc:
         print(f"repro-serve: {exc}", file=sys.stderr)
@@ -319,11 +340,43 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
             for line in mismatches:
                 print(f"  {line}")
             return 1
+        if not isinstance(stats.get("uptime_seconds"), (int, float)):
+            print("repro-serve smoke: FAIL — /v1/stats lacks uptime_seconds")
+            return 1
+        from repro.obs.metrics import validate_exposition
+
+        exposition = client.metrics()
+        problems = validate_exposition(
+            exposition,
+            expect_families=(
+                "repro_job_queue_wait_seconds",
+                "repro_queued_jobs",
+                "repro_point_seconds",
+                "repro_http_request_seconds",
+                "repro_http_requests_total",
+                "repro_store_hits_total",
+                "repro_store_misses_total",
+                "repro_admission_rejected_total",
+                "repro_breaker_trips_total",
+                "repro_uptime_seconds",
+            ),
+        )
+        if problems:
+            print("repro-serve smoke: FAIL — /metrics exposition invalid:")
+            for line in problems:
+                print(f"  {line}")
+            return 1
+        if args.dump_metrics:
+            with open(args.dump_metrics, "w", encoding="utf-8") as handle:
+                handle.write(exposition)
+            print(f"repro-serve smoke: wrote /metrics scrape to {args.dump_metrics}")
         print(
             f"repro-serve smoke: OK — {len(results)} point(s) field-identical "
             f"to direct simulation; {len(contract['benchmarks'])} benchmarks "
             f"in contract; store {stats['store']['misses']} miss(es), "
-            f"flight {stats['single_flight']['leaders']} leader(s)"
+            f"flight {stats['single_flight']['leaders']} leader(s); "
+            f"/metrics exposition valid "
+            f"({exposition.count(chr(10))} lines)"
         )
     return 0
 
@@ -470,6 +523,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     smoke.add_argument("--memory-refs", type=int, default=2_000)
     smoke.add_argument("--seed", type=int, default=0)
     smoke.add_argument("--timeout", type=float, default=300.0)
+    smoke.add_argument(
+        "--dump-metrics", metavar="PATH", default=None,
+        help="save the validated /metrics scrape to PATH (CI artifact)",
+    )
     smoke.set_defaults(func=_cmd_smoke)
 
     args = parser.parse_args(argv)

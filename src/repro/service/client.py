@@ -139,6 +139,23 @@ class ServiceClient:
     def stats(self) -> Dict[str, object]:
         return self._request("GET", "/v1/stats")
 
+    def metrics(self) -> str:
+        """Raw Prometheus text exposition from ``GET /metrics``."""
+        request = urllib.request.Request(f"{self.base_url}/metrics")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, {"error": exc.reason}) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                0, {"error": "unreachable", "message": str(exc.reason)}
+            ) from exc
+        except (http.client.HTTPException, OSError) as exc:
+            raise ServiceError(
+                0, {"error": "unreachable", "message": str(exc)}
+            ) from exc
+
     def submit(self, payload: Dict[str, object]) -> Dict[str, object]:
         """POST a sweep; returns the job summary.
 

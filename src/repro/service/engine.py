@@ -52,6 +52,7 @@ directly checkable by counting ``point-completed`` records per key.
 from __future__ import annotations
 
 import asyncio
+import datetime
 import json
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -60,6 +61,7 @@ from typing import AsyncIterator, Dict, List, Optional
 
 from repro import __version__
 from repro.obs.log import JsonlSink, get_logger
+from repro.obs.metrics import MetricsRegistry
 from repro.runner import RESULT_VERSION, FailureRecord, SimPoint
 from repro.runner.runner import backoff_delay
 from repro.runner.worker import execute_point
@@ -228,6 +230,137 @@ class SimulationService:
         self._progress: Optional[asyncio.Condition] = None
         self._stopping = False
         self._draining = False
+        self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
+        self._init_metrics()
+
+    def _init_metrics(self) -> None:
+        """Build the Prometheus registry behind ``GET /metrics``.
+
+        Latency histograms are observed at the event sites (queue pop,
+        leader success, HTTP dispatch); everything that already has an
+        authoritative counter on this object or the store is *mirrored*
+        into the registry by a render-time callback instead of being
+        double-counted at the call sites — the engine's own counters
+        stay the source of truth that ``/v1/stats`` reports.
+        """
+        self.metrics = MetricsRegistry()
+        m = self.metrics
+        self._m_queue_wait = m.histogram(
+            "repro_job_queue_wait_seconds",
+            "Seconds a job waited between submission and dispatch",
+        )
+        self._m_point_seconds = m.histogram(
+            "repro_point_seconds",
+            "Wall seconds one successful point simulation took",
+        )
+        self._m_http_seconds = m.histogram(
+            "repro_http_request_seconds",
+            "HTTP request handling latency by normalized route",
+            ("method", "route"),
+        )
+        self._m_http_requests = m.counter(
+            "repro_http_requests_total",
+            "HTTP requests served by normalized route and status",
+            ("method", "route", "status"),
+        )
+        self._m_simulated = m.counter(
+            "repro_points_simulated_total", "Points simulated by this instance"
+        )
+        self._m_sim_seconds = m.counter(
+            "repro_sim_seconds_total", "Cumulative simulation wall seconds"
+        )
+        self._m_store_hits = m.counter(
+            "repro_store_hits_total",
+            "Result-store hits by tier (memo or disk)",
+            ("tier",),
+        )
+        self._m_store_misses = m.counter(
+            "repro_store_misses_total", "Result-store misses"
+        )
+        self._m_rejected = m.counter(
+            "repro_admission_rejected_total",
+            "Submissions refused by admission control, by reason",
+            ("reason",),
+        )
+        # Pre-declare the known reasons so scrapers see the series at
+        # zero instead of having them appear on the first reject.
+        for reason in ("draining", "queue-full", "backlog-full", "bytes-full"):
+            self._m_rejected.labels(reason=reason)
+        self._m_timeouts = m.counter(
+            "repro_watchdog_timeouts_total", "Per-point watchdog expiries"
+        )
+        self._m_breaker_trips = m.counter(
+            "repro_breaker_trips_total", "Circuit-breaker trips"
+        )
+        self._m_breaker_fast_fails = m.counter(
+            "repro_breaker_fast_fails_total",
+            "Points fast-failed by an open circuit breaker",
+        )
+        self._m_breaker_recoveries = m.counter(
+            "repro_breaker_recoveries_total", "Circuit-breaker recoveries"
+        )
+        self._m_breaker_open = m.gauge(
+            "repro_breaker_open_keys", "Content keys currently fast-failing"
+        )
+        self._m_jobs = m.gauge(
+            "repro_jobs", "Jobs known to the queue, by lifecycle state", ("state",)
+        )
+        self._m_queued_jobs = m.gauge("repro_queued_jobs", "Jobs waiting in the queue")
+        self._m_backlog_points = m.gauge(
+            "repro_backlog_points", "Unresolved points across live jobs"
+        )
+        self._m_inflight_bytes = m.gauge(
+            "repro_inflight_bytes", "Serialized request bytes held by live jobs"
+        )
+        self._m_uptime = m.gauge(
+            "repro_uptime_seconds", "Seconds since the service started"
+        )
+        m.register_callback(self._mirror_metrics)
+
+    def _mirror_metrics(self, _registry: Optional[MetricsRegistry] = None) -> None:
+        """Refresh mirrored counters/gauges from their authoritative sources."""
+        store = self.store.summary()
+        self._m_store_hits.labels(tier="memo").set_total(store["memo_hits"])
+        self._m_store_hits.labels(tier="disk").set_total(store["disk_hits"])
+        self._m_store_misses.set_total(store["misses"])
+        self._m_simulated.set_total(self.simulated)
+        self._m_sim_seconds.set_total(self.sim_seconds)
+        self._m_timeouts.set_total(self.timeouts)
+        self._m_breaker_trips.set_total(self.breaker_trips)
+        self._m_breaker_fast_fails.set_total(self.breaker_fast_fails)
+        self._m_breaker_recoveries.set_total(self.breaker_recoveries)
+        for reason, count in self.rejected.items():
+            self._m_rejected.labels(reason=reason).set_total(count)
+        now = time.monotonic()
+        self._m_breaker_open.set(
+            sum(1 for state in self._breaker.values() if state.open_until > now)
+        )
+        by_state: Dict[str, int] = {}
+        for job in self.queue.jobs.values():
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        for state, count in by_state.items():
+            self._m_jobs.labels(state=state).set(count)
+        self._m_queued_jobs.set(self.queue.pending())
+        self._m_backlog_points.set(self.queue.backlog_points())
+        self._m_inflight_bytes.set(self.queue.inflight_bytes())
+        self._m_uptime.set(round(now - self._started_monotonic, 3))
+
+    def observe_http(
+        self, method: str, route: str, status: int, seconds: float
+    ) -> None:
+        """Record one served HTTP request (called by the server layer)."""
+        self._m_http_seconds.labels(method=method, route=route).observe(seconds)
+        self._m_http_requests.labels(
+            method=method, route=route, status=str(status)
+        ).inc()
+
+    def render_metrics(self) -> str:
+        """Prometheus text exposition for ``GET /metrics``."""
+        return self.metrics.render_prometheus()
+
+    def uptime_seconds(self) -> float:
+        return round(time.monotonic() - self._started_monotonic, 3)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -240,6 +373,8 @@ class SimulationService:
         self._progress = asyncio.Condition()
         self._stopping = False
         self._draining = False
+        self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
         self._dispatchers = [
             asyncio.create_task(self._dispatch_loop(), name=f"dispatcher-{i}")
             for i in range(self.config.job_concurrency)
@@ -334,6 +469,7 @@ class SimulationService:
             id=job.id,
             priority=job.priority,
             points=job.total_points,
+            trace_id=job.trace_id,
         )
         if self._wake is not None:
             self._wake.set()
@@ -400,6 +536,10 @@ class SimulationService:
                 await self._wake.wait()
                 continue
             self._wake.set()  # more jobs may be queued; keep siblings awake
+            if job.submitted_monotonic:
+                self._m_queue_wait.observe(
+                    max(0.0, time.monotonic() - job.submitted_monotonic)
+                )
             await self._run_job(job)
 
     async def _run_job(self, job: Job) -> None:
@@ -422,7 +562,9 @@ class SimulationService:
         if job.state == JobState.CANCELLED:
             # cooperative DELETE mid-run: the queue already journaled
             # the terminal transition; just wake the watchers.
-            self._log("job-cancelled", id=job.id, was_running=True)
+            self._log(
+                "job-cancelled", id=job.id, was_running=True, trace_id=job.trace_id
+            )
             async with self._progress:
                 self._progress.notify_all()
             self.queue.maybe_compact(self.config.journal_max_bytes)
@@ -440,10 +582,12 @@ class SimulationService:
                 else:
                     message = f"{type(first).__name__}: {first}"
                 self.queue.fail(job, message, job.failures)
-                self._log("job-failed", id=job.id, message=message)
+                self._log(
+                    "job-failed", id=job.id, message=message, trace_id=job.trace_id
+                )
             else:
                 self.queue.complete(job)
-                self._log("job-completed", id=job.id)
+                self._log("job-completed", id=job.id, trace_id=job.trace_id)
             self._progress.notify_all()
         self.queue.maybe_compact(self.config.journal_max_bytes)
 
@@ -464,7 +608,9 @@ class SimulationService:
             return False
         if job.state == JobState.QUEUED:
             self.queue.cancel(job_id)
-            self._log("job-cancelled", id=job_id, was_running=False)
+            self._log(
+                "job-cancelled", id=job_id, was_running=False, trace_id=job.trace_id
+            )
         else:
             self.queue.cancel_running(job)
             for task in self._job_tasks.get(job_id, []):
@@ -477,12 +623,18 @@ class SimulationService:
     async def _resolve_point(self, job: Job, point: SimPoint, key: str) -> None:
         payload = self.store.get(key)
         if payload is not None:
-            self._log("point-cache-hit", label=point.label(), key=key, id=job.id)
+            self._log(
+                "point-cache-hit", label=point.label(), key=key, id=job.id,
+                trace_id=job.trace_id,
+            )
             await self._mark_done(job, key)
             return
         while True:
             if self.flight.is_inflight(key):
-                self._log("point-deduped", label=point.label(), key=key, id=job.id)
+                self._log(
+                    "point-deduped", label=point.label(), key=key, id=job.id,
+                    trace_id=job.trace_id,
+                )
             try:
                 await self.flight.run(key, lambda: self._compute(job, point, key))
             except FlightCancelled:
@@ -532,6 +684,7 @@ class SimulationService:
         self._log(
             "point-failed", label=label, key=key, attempt=0,
             kind="timeout", message=record.message, breaker="open",
+            trace_id=job.trace_id,
         )
         raise PointComputeError(point, key, [record])
 
@@ -567,9 +720,13 @@ class SimulationService:
         attempt = 0
         label = point.label()
         timeout = self.config.point_timeout
+        trace_id = job.trace_id
         self._breaker_check(job, point, key)
         while True:
-            self._log("point-started", label=label, key=key, attempt=attempt)
+            self._log(
+                "point-started", label=label, key=key, attempt=attempt,
+                trace_id=trace_id,
+            )
             # stamp the attempt: a watchdog expiry invalidates the stamp,
             # fencing the orphaned thread — its late result is dropped at
             # the futures layer (nothing awaits an abandoned future) and
@@ -624,13 +781,13 @@ class SimulationService:
                 if fatal:
                     self._log(
                         "point-failed", label=label, key=key, attempt=attempt,
-                        kind=kind, message=record.message,
+                        kind=kind, message=record.message, trace_id=trace_id,
                     )
                     raise PointComputeError(point, key, records) from exc
                 attempt += 1
                 self._log(
                     "point-retried", label=label, key=key, attempt=attempt,
-                    kind=kind, message=record.message,
+                    kind=kind, message=record.message, trace_id=trace_id,
                 )
                 await asyncio.sleep(
                     backoff_delay(key, attempt, self.config.retry_backoff)
@@ -646,6 +803,7 @@ class SimulationService:
         self._note_success(key)
         self.simulated += 1
         self.sim_seconds += wall
+        self._m_point_seconds.observe(wall)
         self.store.put(
             key,
             stats_dict,
@@ -661,7 +819,7 @@ class SimulationService:
         )
         self._log(
             "point-completed", label=label, key=key, attempt=attempt,
-            duration=round(wall, 6),
+            duration=round(wall, 6), trace_id=trace_id,
         )
 
     # -- observation -------------------------------------------------------
@@ -761,9 +919,17 @@ class SimulationService:
         )
         return {
             "version": __version__,
+            "started_at": datetime.datetime.fromtimestamp(
+                self.started_at, datetime.timezone.utc
+            ).isoformat(timespec="seconds"),
+            "uptime_seconds": self.uptime_seconds(),
             "jobs": by_state,
             "points_simulated": self.simulated,
             "sim_seconds": round(self.sim_seconds, 3),
+            "latency": {
+                "job_queue_wait_seconds": self._m_queue_wait.summary(),
+                "point_seconds": self._m_point_seconds.summary(),
+            },
             "store": self.store.summary(),
             "single_flight": self.flight.summary(),
             "workers": self.config.workers,

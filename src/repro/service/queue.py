@@ -42,6 +42,7 @@ import hashlib
 import heapq
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Set, Union
@@ -87,6 +88,12 @@ class Job:
     error: Optional[str] = None
     #: serialized request size, charged against the admission byte budget.
     payload_bytes: int = 0
+    #: correlation id: the client's ``trace_id`` or the job id.  Stable
+    #: across journal replay (both inputs are journaled).
+    trace_id: str = ""
+    #: monotonic submission instant for the queue-wait metric; runtime
+    #: only (never journaled — replayed jobs restart the clock).
+    submitted_monotonic: float = 0.0
 
     @property
     def remaining_points(self) -> int:
@@ -112,6 +119,7 @@ class Job:
             "benchmarks": list(self.request.benchmarks),
             "memory_refs": self.request.memory_refs,
             "seed": self.request.seed,
+            "trace_id": self.trace_id,
         }
         if self.request.tags:
             out["tags"] = dict(self.request.tags)
@@ -256,8 +264,9 @@ class JobQueue:
         job_id: Optional[str] = None,
     ) -> Job:
         points = request.points()
+        resolved_id = job_id or _job_id(seq, payload)
         return Job(
-            id=job_id or _job_id(seq, payload),
+            id=resolved_id,
             seq=seq,
             priority=request.priority,
             request=request,
@@ -267,6 +276,8 @@ class JobQueue:
             payload_bytes=len(
                 json.dumps(payload, sort_keys=True, separators=(",", ":"))
             ),
+            trace_id=request.trace_id or resolved_id,
+            submitted_monotonic=time.monotonic(),
         )
 
     # -- submission and dispatch -------------------------------------------
@@ -279,7 +290,7 @@ class JobQueue:
         self.jobs[job.id] = job
         self._event(
             "job-submitted", id=job.id, seq=job.seq, priority=job.priority,
-            request=payload,
+            trace_id=job.trace_id, request=payload,
         )
         heapq.heappush(self._heap, (job.priority, job.seq, job.id))
         return job

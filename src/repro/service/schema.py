@@ -203,6 +203,9 @@ class SweepRequest:
     seed: int = 0
     priority: int = 5
     tags: Optional[Dict[str, str]] = None
+    #: client-chosen correlation id, echoed through run-log events and
+    #: job status; defaults to the job id when omitted.
+    trace_id: Optional[str] = None
 
     def points(self) -> List[SimPoint]:
         """The sweep's cross product as runner points, in stable order."""
@@ -228,6 +231,8 @@ class SweepRequest:
         }
         if self.tags:
             out["tags"] = dict(self.tags)
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
         return out
 
 
@@ -257,6 +262,14 @@ _KNOWN_FIELDS = (
     "seed",
     "priority",
     "tags",
+    "trace_id",
+)
+
+#: charset/length bounds for client trace ids: they land in log lines,
+#: file names, and metric labels, so keep them boring.
+_TRACE_ID_MAX_LEN = 128
+_TRACE_ID_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._:-"
 )
 
 
@@ -329,6 +342,25 @@ def parse_sweep_request(payload: Mapping[str, Any]) -> SweepRequest:
             errors.add("tags", "must be an object of string keys to string values")
             tags = None
 
+    trace_id = payload.get("trace_id")
+    if trace_id is not None:
+        if not isinstance(trace_id, str) or not trace_id:
+            errors.add("trace_id", "must be a non-empty string")
+            trace_id = None
+        elif len(trace_id) > _TRACE_ID_MAX_LEN:
+            errors.add(
+                "trace_id",
+                f"must be at most {_TRACE_ID_MAX_LEN} characters, "
+                f"got {len(trace_id)}",
+            )
+            trace_id = None
+        elif not set(trace_id) <= _TRACE_ID_CHARS:
+            errors.add(
+                "trace_id",
+                "may only contain letters, digits, and the characters . _ : -",
+            )
+            trace_id = None
+
     configs: List[SystemConfig] = []
     config_payloads: List[Dict[str, Any]] = []
     for i, overrides in enumerate(raw_configs):
@@ -358,6 +390,7 @@ def parse_sweep_request(payload: Mapping[str, Any]) -> SweepRequest:
         seed=seed,
         priority=priority,
         tags=dict(tags) if tags else None,
+        trace_id=trace_id,
     )
 
 
@@ -380,6 +413,9 @@ def contract_description(
             "priority": f"optional int in [{PRIORITY_RANGE[0]}, {PRIORITY_RANGE[1]}], "
             "lower dispatches first (default 5)",
             "tags": "optional string-to-string object, echoed back verbatim",
+            "trace_id": "optional correlation id (letters, digits, . _ : -, "
+            f"max {_TRACE_ID_MAX_LEN} chars) threaded through run-log events; "
+            "defaults to the job id",
         },
         "benchmarks": list(BENCHMARKS),
         "dram_parts": sorted(DRAM_PARTS),

@@ -13,6 +13,7 @@ method    path                        meaning
 GET       ``/healthz``                liveness probe
 GET       ``/v1/contract``            machine-readable request contract
 GET       ``/v1/stats``               service counters (queue/store/flight)
+GET       ``/metrics``                Prometheus text exposition (not JSON)
 POST      ``/v1/sweeps``              submit a sweep → ``202`` + job id,
                                       ``400`` with field-addressed errors,
                                       ``429`` + ``Retry-After`` when
@@ -41,6 +42,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from typing import Dict, Optional, Tuple
 
 from repro.obs.log import get_logger
@@ -82,6 +84,36 @@ def _response(
         f"Connection: close\r\n\r\n"
     )
     return head.encode("ascii") + body
+
+
+def _text_response(status: int, text: str, content_type: str) -> bytes:
+    body = text.encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+#: Prometheus text exposition format version (the standard 0.0.4 type).
+_METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _route_of(path: str) -> str:
+    """Normalize a request path to a bounded-cardinality metric label.
+
+    Job ids must not mint one time series each, and unknown paths all
+    collapse into a single ``other`` bucket.
+    """
+    path = path.rstrip("/") or "/"
+    if path in ("/healthz", "/metrics", "/v1/contract", "/v1/stats",
+                "/v1/sweeps", "/v1/jobs"):
+        return path
+    if path.startswith("/v1/jobs/"):
+        return "/v1/jobs/{id}/stream" if path.endswith("/stream") else "/v1/jobs/{id}"
+    return "other"
 
 
 class ServiceServer:
@@ -136,21 +168,27 @@ class ServiceServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        started = time.monotonic()
+        method_label, route, status = "GET", "malformed", 0
         try:
             request = await self._read_request(reader)
             if request is None:
+                status = 400
                 writer.write(_response(400, {"error": "malformed-request"}))
             else:
                 method, path, body = request
+                method_label, route = method, _route_of(path)
                 if self._drop_planned(path):
                     # injected mid-request connection drop: abort with no
                     # response bytes, like a crashed proxy would.
                     writer.transport.abort()
                     return
                 if path.rstrip("/").endswith("/stream") and method == "GET":
-                    await self._stream(writer, path)
+                    status = await self._stream(writer, path)
                     return  # _stream closes the connection itself
-                writer.write(await self._dispatch(method, path, body))
+                response = await self._dispatch(method, path, body)
+                status = int(response[9:12])
+                writer.write(response)
             await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
@@ -158,6 +196,7 @@ class ServiceServer:
             # full detail to the log; a deliberately generic body to the
             # client — internal exception text is not part of the API.
             _log.warning(f"[service] request failed: {type(exc).__name__}: {exc}")
+            status = 500
             try:
                 writer.write(
                     _response(
@@ -170,6 +209,10 @@ class ServiceServer:
             except ConnectionError:
                 pass
         finally:
+            if status:
+                self.service.observe_http(
+                    method_label, route, status, time.monotonic() - started
+                )
             writer.close()
             try:
                 await writer.wait_closed()
@@ -231,6 +274,10 @@ class ServiceServer:
             )
         if path == "/v1/stats" and method == "GET":
             return _response(200, self.service.stats())
+        if path == "/metrics" and method == "GET":
+            return _text_response(
+                200, self.service.render_metrics(), _METRICS_CONTENT_TYPE
+            )
         if path == "/v1/sweeps":
             if method != "POST":
                 return _response(405, {"error": "method-not-allowed"})
@@ -279,13 +326,16 @@ class ServiceServer:
             return _response(405, {"error": "method-not-allowed"})
         return _response(404, {"error": "no-such-route", "path": path})
 
-    async def _stream(self, writer: asyncio.StreamWriter, path: str) -> None:
-        """Server-Sent Events: one ``data:`` line per progress event."""
+    async def _stream(self, writer: asyncio.StreamWriter, path: str) -> int:
+        """Server-Sent Events: one ``data:`` line per progress event.
+
+        Returns the response status for the HTTP metrics.
+        """
         job_id = path.rstrip("/")[len("/v1/jobs/"):-len("/stream")].rstrip("/")
         if self.service.queue.jobs.get(job_id) is None:
             writer.write(_response(404, {"error": "no-such-job", "id": job_id}))
             await writer.drain()
-            return
+            return 404
         writer.write(
             b"HTTP/1.1 200 OK\r\n"
             b"Content-Type: text/event-stream\r\n"
@@ -303,3 +353,4 @@ class ServiceServer:
             # watcher parked on the progress condition: close it here,
             # deterministically, instead of waiting on the GC.
             await watcher.aclose()
+        return 200

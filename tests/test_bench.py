@@ -153,8 +153,12 @@ class TestHistory:
         fingerprint = machine_fingerprint()
         assert set(fingerprint) == {
             "platform", "machine", "processor", "python", "implementation",
+            "cpu_count",
         }
-        assert all(isinstance(v, str) for v in fingerprint.values())
+        assert isinstance(fingerprint["cpu_count"], int)
+        assert all(
+            isinstance(v, str) for k, v in fingerprint.items() if k != "cpu_count"
+        )
 
     def test_append_history_record_shape(self, tmp_path):
         result = _result_with({"hits": 100, "misses": 0})

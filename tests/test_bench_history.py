@@ -1,0 +1,325 @@
+"""Tests for the statistical bench-history gate and the trend report.
+
+The fixtures are synthetic ``history.jsonl`` files covering the cases
+the gate must decide deterministically: a stable kernel (pass), a 2x
+regression (fail), a noisy-but-unchanged run (pass — this is the whole
+point of the bootstrap over single-median comparison), records from a
+different machine fingerprint (ignored), and a torn final line
+(skipped, never fatal).
+"""
+
+import json
+
+from repro.bench.harness import BenchResult, ScenarioResult, machine_fingerprint
+from repro.bench.history import (
+    bootstrap_ci,
+    check_history,
+    fingerprint_key,
+    load_history,
+    scenario_samples,
+)
+from repro.bench.report import render_metrics_tables, render_report, sparkline
+from repro.bench.cli import main as bench_main
+
+
+THIS_MACHINE = machine_fingerprint()
+OTHER_MACHINE = dict(THIS_MACHINE, machine="sparc64", processor="UltraSPARC-II")
+
+
+def _record(samples, machine=None, label="ci", mode="quick", work_items=4000):
+    return {
+        "timestamp": "2026-08-01T00:00:00+00:00",
+        "label": label,
+        "mode": mode,
+        "repeat": len(samples),
+        "machine": machine or THIS_MACHINE,
+        "scenarios": {
+            "cache_hit_micro": {
+                "work_items": work_items,
+                "wall_seconds": list(samples),
+                "wall_seconds_median": sorted(samples)[len(samples) // 2],
+                "items_per_second": 1.0,
+            }
+        },
+        "source_fingerprint": "deadbeef",
+        "git_commit": "0" * 40,
+    }
+
+
+def _result(samples, mode="quick", work_items=4000):
+    result = BenchResult(label="now", mode=mode, repeat=len(samples), warmup=0)
+    result.scenarios["cache_hit_micro"] = ScenarioResult(
+        name="cache_hit_micro",
+        description="",
+        work_items=work_items,
+        wall_seconds=list(samples),
+    )
+    return result
+
+
+def _write_history(tmp_path, records, torn_tail=False):
+    path = tmp_path / "history.jsonl"
+    lines = [json.dumps(r) for r in records]
+    text = "\n".join(lines) + "\n"
+    if torn_tail:
+        text += json.dumps(records[-1])[: 40]  # interrupted append
+    path.write_text(text)
+    return path
+
+
+STABLE = [0.100, 0.102, 0.098, 0.101, 0.099]
+
+
+class TestLoadHistory:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+    def test_torn_tail_line_skipped(self, tmp_path):
+        path = _write_history(
+            tmp_path, [_record(STABLE), _record(STABLE)], torn_tail=True
+        )
+        records = load_history(path)
+        assert len(records) == 2
+        assert records[0].git_commit == "0" * 40
+        assert records[0].source_fingerprint == "deadbeef"
+
+    def test_malformed_and_non_dict_lines_skipped(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text(
+            "not json\n[1,2]\n"
+            + json.dumps(_record(STABLE))
+            + "\n"
+            + json.dumps({"scenarios": "nope", "machine": {}})
+            + "\n"
+        )
+        assert len(load_history(path)) == 1
+
+    def test_old_record_without_sample_list_still_loads(self, tmp_path):
+        old = _record(STABLE)
+        del old["scenarios"]["cache_hit_micro"]["wall_seconds"]
+        del old["source_fingerprint"]
+        del old["git_commit"]
+        path = _write_history(tmp_path, [old])
+        (record,) = load_history(path)
+        assert record.source_fingerprint is None
+        # median-only records degrade to a single sample, not zero.
+        assert scenario_samples(record.scenarios["cache_hit_micro"]) == [
+            old["scenarios"]["cache_hit_micro"]["wall_seconds_median"]
+        ]
+
+
+class TestBootstrapCi:
+    def test_deterministic(self):
+        assert bootstrap_ci(STABLE) == bootstrap_ci(STABLE)
+
+    def test_order_independent(self):
+        assert bootstrap_ci(STABLE) == bootstrap_ci(list(reversed(STABLE)))
+
+    def test_interval_brackets_median(self):
+        low, median, high = bootstrap_ci(STABLE)
+        assert low <= median <= high
+        assert low >= min(STABLE)
+        assert high <= max(STABLE)
+
+    def test_single_sample_degenerates(self):
+        assert bootstrap_ci([0.5]) == (0.5, 0.5, 0.5)
+
+    def test_identical_samples_degenerate(self):
+        assert bootstrap_ci([0.2, 0.2, 0.2]) == (0.2, 0.2, 0.2)
+
+
+class TestCheckHistory:
+    def test_stable_run_passes(self, tmp_path):
+        path = _write_history(tmp_path, [_record(STABLE)] * 5)
+        check = check_history(_result(STABLE), path)
+        assert check.ok
+        assert check.details and not check.details[0]["regressed"]
+
+    def test_two_x_regression_rejected(self, tmp_path):
+        path = _write_history(tmp_path, [_record(STABLE)] * 5)
+        check = check_history(_result([s * 2.0 for s in STABLE]), path)
+        assert not check.ok
+        assert "regressed" in check.problems[0]
+
+    def test_decision_is_deterministic(self, tmp_path):
+        path = _write_history(tmp_path, [_record(STABLE)] * 3)
+        slow = _result([s * 2.0 for s in STABLE])
+        first = check_history(slow, path)
+        second = check_history(slow, path)
+        assert first.problems == second.problems
+        assert first.details == second.details
+
+    def test_noisy_but_unchanged_run_passes(self, tmp_path):
+        # one wild outlier repeat must not flake the gate: the CI of
+        # medians barely moves, which is why this gate exists at all.
+        path = _write_history(tmp_path, [_record(STABLE)] * 5)
+        noisy = [0.101, 0.099, 0.100, 0.102, 0.450]
+        check = check_history(_result(noisy), path)
+        assert check.ok
+
+    def test_other_machine_records_ignored(self, tmp_path):
+        path = _write_history(
+            tmp_path, [_record([s * 0.25 for s in STABLE], machine=OTHER_MACHINE)] * 5
+        )
+        check = check_history(_result(STABLE), path)
+        assert check.ok
+        assert any("no history records match" in note for note in check.notes)
+
+    def test_mixed_machines_gate_only_on_matching_group(self, tmp_path):
+        records = (
+            [_record([s * 0.25 for s in STABLE], machine=OTHER_MACHINE)] * 3
+            + [_record(STABLE)] * 3
+        )
+        path = _write_history(tmp_path, records)
+        # stable vs its own group: passes even though the other
+        # machine's numbers are 4x faster.
+        assert check_history(_result(STABLE), path).ok
+        # regression vs its own group: still caught.
+        assert not check_history(_result([s * 2 for s in STABLE]), path).ok
+
+    def test_work_items_mismatch_skipped(self, tmp_path):
+        path = _write_history(tmp_path, [_record(STABLE, work_items=999)] * 5)
+        check = check_history(_result(STABLE), path)
+        assert check.ok
+        assert any("no comparable" in note for note in check.notes)
+
+    def test_mode_mismatch_skipped(self, tmp_path):
+        path = _write_history(tmp_path, [_record(STABLE, mode="full")] * 5)
+        check = check_history(_result(STABLE, mode="quick"), path)
+        assert check.ok
+
+    def test_window_limits_baseline(self, tmp_path):
+        # ancient fast records beyond the window must not drag the
+        # baseline down; only the latest `window` records count.
+        records = [_record([s * 0.25 for s in STABLE])] * 10 + [
+            _record([s * 2.0 for s in STABLE])
+        ] * 5
+        path = _write_history(tmp_path, records)
+        check = check_history(_result([s * 2.0 for s in STABLE]), path, window=5)
+        assert check.ok
+
+    def test_threshold_tightens_gate(self, tmp_path):
+        path = _write_history(tmp_path, [_record(STABLE)] * 5)
+        mild = _result([s * 1.08 for s in STABLE])
+        assert check_history(mild, path, threshold=0.10).ok
+        assert not check_history(mild, path, threshold=0.01).ok
+
+    def test_fingerprint_key_stable_across_patch_versions(self):
+        a = dict(THIS_MACHINE, python="3.11.8")
+        b = dict(THIS_MACHINE, python="3.11.9")
+        c = dict(THIS_MACHINE, python="3.12.1")
+        assert fingerprint_key(a) == fingerprint_key(b)
+        assert fingerprint_key(a) != fingerprint_key(c)
+
+
+class TestReport:
+    def test_sparkline_shape(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+        assert sparkline([]) == ""
+        assert sparkline([5.0]) and len(sparkline([5.0])) == 1
+
+    def test_report_renders_trend_and_ci(self, tmp_path):
+        records = [
+            _record(STABLE),
+            _record([s * 1.01 for s in STABLE]),
+            _record([s * 0.99 for s in STABLE]),
+        ]
+        path = _write_history(tmp_path, records)
+        text = render_report(load_history(path))
+        assert "cache_hit_micro" in text
+        assert "95% CI" in text
+        assert "trend" in text
+        assert any(ch in text for ch in "▁▂▃▄▅▆▇█")
+
+    def test_empty_history_renders_placeholder(self):
+        assert "history is empty" in render_report([])
+
+    def test_mixed_machines_get_separate_sections(self, tmp_path):
+        path = _write_history(
+            tmp_path, [_record(STABLE), _record(STABLE, machine=OTHER_MACHINE)]
+        )
+        text = render_report(load_history(path))
+        assert "UltraSPARC-II" in text
+
+    def test_metrics_tables_from_obs_json(self, tmp_path):
+        metrics = tmp_path / "m.json"
+        metrics.write_text(
+            json.dumps(
+                {
+                    "merged_histogram_summary": {
+                        "dram_queue_wait.demand": {
+                            "total": 100,
+                            "mean": 4.0,
+                            "p50": 3.0,
+                            "p95": 9.0,
+                            "p99": 15.0,
+                        }
+                    }
+                }
+            )
+        )
+        lines = render_metrics_tables([metrics])
+        text = "\n".join(lines)
+        assert "dram_queue_wait.demand" in text
+        assert "p99" in text
+
+    def test_unreadable_metrics_file_reported_inline(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{")
+        text = "\n".join(render_metrics_tables([bad]))
+        assert "bad.json" in text
+
+
+class TestCliIntegration:
+    ARGS = [
+        "--quick", "--repeat", "2", "--warmup", "0",
+        "--scenario", "cache_hit_micro",
+    ]
+
+    def test_check_history_passes_without_history(self, tmp_path, capsys):
+        rc = bench_main(
+            self.ARGS
+            + [
+                "--out-dir", str(tmp_path),
+                "--check-history", str(tmp_path / "none.jsonl"),
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "history gate ok" in captured.out
+        assert "nothing to gate against" in captured.err
+
+    def test_check_history_gate_runs_before_append(self, tmp_path, capsys):
+        # match the work_items the real quick-mode scenario reports so
+        # the fixture records are comparable to the live run.
+        history = _write_history(
+            tmp_path, [_record([1e-9, 1e-9, 1e-9], work_items=80000)] * 5
+        )
+        rc = bench_main(
+            self.ARGS
+            + [
+                "--out-dir", str(tmp_path),
+                "--check-history", str(history),
+                "--append-history", str(history),
+            ]
+        )
+        # any real run is a >2x "regression" against a nanosecond
+        # baseline, so the gate must fail...
+        assert rc == 1
+        assert "regressed" in capsys.readouterr().err
+        # ...and the failing run must still be appended for forensics
+        # (gate decided first, from pre-append history).
+        assert len(load_history(history)) == 6
+
+    def test_report_subcommand_writes_markdown(self, tmp_path, capsys):
+        history = _write_history(tmp_path, [_record(STABLE)] * 3)
+        out = tmp_path / "trend.md"
+        rc = bench_main(
+            ["report", "--history", str(history), "--out", str(out)]
+        )
+        assert rc == 0
+        text = out.read_text()
+        assert text.startswith("#")
+        assert "cache_hit_micro" in text
