@@ -123,6 +123,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run only this scenario (repeatable; default: all)",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="build every scenario config against this DRAM backend "
+        "(sets REPRO_BACKEND).  The backend is recorded in results and "
+        "history records, and the history gate only compares runs of "
+        "the same backend.  Default: REPRO_BACKEND env var, else "
+        "'drdram'",
+    )
+    parser.add_argument(
         "--out-dir",
         default=".",
         metavar="DIR",
@@ -172,6 +182,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "before/after pair",
     )
     args = parser.parse_args(argv)
+    if args.backend is not None:
+        import os
+
+        from repro.dram.backends import backend_names, has_backend
+
+        if not has_backend(args.backend):
+            parser.error(
+                f"--backend: unknown DRAM backend {args.backend!r} "
+                f"(registered: {', '.join(backend_names())})"
+            )
+        os.environ["REPRO_BACKEND"] = args.backend
     repeat = args.repeat if args.repeat is not None else (3 if args.quick else 5)
     if repeat < 1:
         parser.error(f"--repeat must be >= 1, got {repeat}")

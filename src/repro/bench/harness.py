@@ -92,6 +92,10 @@ class BenchResult:
     mode: str
     repeat: int
     warmup: int
+    #: DRAM backend every scenario config was built against; results
+    #: are only comparable within one backend, so the history gate
+    #: keys on it alongside mode and machine fingerprint.
+    backend: str = "drdram"
     scenarios: Dict[str, ScenarioResult] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
@@ -100,6 +104,7 @@ class BenchResult:
             "mode": self.mode,
             "repeat": self.repeat,
             "warmup": self.warmup,
+            "backend": self.backend,
             "python": platform.python_version(),
             "scenarios": {name: res.to_dict() for name, res in self.scenarios.items()},
         }
@@ -129,8 +134,14 @@ def run_benchmarks(
     unknown = [n for n in names if n not in SCENARIOS]
     if unknown:
         raise KeyError(f"unknown scenario(s): {', '.join(unknown)}")
+    from repro.dram.backends import default_backend_name
+
     result = BenchResult(
-        label=label, mode="quick" if quick else "full", repeat=repeat, warmup=warmup
+        label=label,
+        mode="quick" if quick else "full",
+        repeat=repeat,
+        warmup=warmup,
+        backend=default_backend_name(),
     )
     for name in names:
         scenario: Scenario = SCENARIOS[name]
@@ -241,6 +252,7 @@ def append_history(result: BenchResult, path: Union[str, Path]) -> Path:
         ),
         "label": result.label,
         "mode": result.mode,
+        "backend": result.backend,
         "repeat": result.repeat,
         "machine": machine_fingerprint(),
         "source_fingerprint": source,

@@ -61,6 +61,9 @@ class HistoryRecord:
     machine: Dict[str, object]
     scenarios: Dict[str, Dict[str, object]]
     repeat: int = 1
+    #: DRAM backend the run was built against; records written before
+    #: backends existed were all DRDRAM, so that is the parse default.
+    backend: str = "drdram"
     source_fingerprint: Optional[str] = None
     git_commit: Optional[str] = None
     line_number: int = 0
@@ -132,6 +135,7 @@ def load_history(path: Union[str, Path]) -> List[HistoryRecord]:
                     str(k): v for k, v in scenarios.items() if isinstance(v, dict)
                 },
                 repeat=int(raw.get("repeat", 1) or 1),
+                backend=str(raw.get("backend", "drdram") or "drdram"),
                 source_fingerprint=raw.get("source_fingerprint"),
                 git_commit=raw.get("git_commit"),
                 line_number=lineno,
@@ -223,11 +227,19 @@ def check_history(
         records = list(history)
     check = HistoryCheck()
     key = fingerprint_key(machine if machine is not None else machine_fingerprint())
-    comparable = [r for r in records if r.key == key and r.mode == current.mode]
+    # Backend is part of the comparison key: TL-DRAM and DDR-like runs
+    # have genuinely different wall profiles, so pooling them with
+    # DRDRAM samples would either mask regressions or flake the gate.
+    comparable = [
+        r
+        for r in records
+        if r.key == key and r.mode == current.mode and r.backend == current.backend
+    ]
     if not comparable:
         check.notes.append(
-            f"no history records match this machine group ({key}) and "
-            f"mode {current.mode!r}; nothing to gate against"
+            f"no history records match this machine group ({key}), "
+            f"mode {current.mode!r}, and backend {current.backend!r}; "
+            f"nothing to gate against"
         )
         return check
     for name, cur in sorted(current.scenarios.items()):

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.core.config import CoreConfig, DRAMConfig
 from repro.core.stats import DRAMClassStats, SimStats
+from repro.dram.backends import get_backend
 from repro.dram.bank import BankArray
 from repro.dram.mapping import DRAMCoordinates
 
@@ -58,6 +59,7 @@ class LogicalChannel:
         "_t_rdwr",
         "_t_transfer",
         "_t_packet",
+        "_policy",
         "_closed_page",
         "banks",
         "row_bus_free",
@@ -88,23 +90,37 @@ class LogicalChannel:
             id(stats.dram_writebacks): "writeback",
             id(stats.dram_prefetches): "prefetch",
         }
-        timings = config.timing_cycles(core)
+        # The backend supplies the effective organization (speed grade,
+        # bank geometry, sense-amp sharing) and an optional per-access
+        # timing policy; for the default DRDRAM backend both reduce to
+        # the raw config, keeping the scheduling arithmetic untouched.
+        backend = get_backend(config.backend)
+        effective = backend.effective(config)
+        timings = backend.timing_cycles(config, core)
         self._t_prer = timings["t_prer"]
         self._t_act = timings["t_act"]
         self._t_rdwr = timings["t_rdwr"]
         self._t_transfer = timings["t_transfer"]
         self._t_packet = timings["t_packet"]
+        self._policy = backend.make_policy(config, core)
         self._closed_page = config.row_policy == "closed"
         self.banks = BankArray(
-            config.banks_per_device,
-            config.devices_per_channel,
-            shared_sense_amps=config.shared_sense_amps,
+            effective.banks_per_device,
+            effective.devices_per_channel,
+            shared_sense_amps=effective.shared_sense_amps,
         )
         self.row_bus_free = 0.0
         self.col_bus_free = 0.0
         self.data_bus_free = 0.0
         if san is not None:
-            san.register_channel(self, timings, self._closed_page)
+            # The sanitizer replays the access stream through its own
+            # fresh policy instance — an independent shadow oracle.
+            san.register_channel(
+                self,
+                timings,
+                self._closed_page,
+                policy=backend.make_policy(config, core),
+            )
 
     # -- queries used by the controller and prefetch prioritizer ------------
 
@@ -158,6 +174,20 @@ class LogicalChannel:
         """
         bank = self.banks[coords.bank]
         outcome = self.classify(coords)
+        # Per-access protocol timings: uniform for static backends, or
+        # resolved by the backend's row-timing policy (TL-DRAM near/far
+        # segments, ChargeCache highly-charged grants).  The sanitizer's
+        # shadow policy resolves the same stream, so a mis-applied grant
+        # is a protocol violation.
+        policy = self._policy
+        if policy is None:
+            t_prer = self._t_prer
+            t_act = self._t_act
+            t_rdwr = self._t_rdwr
+        else:
+            t_prer, t_act, t_rdwr = policy.resolve(
+                coords.bank, coords.row, time, outcome
+            )
         cls.accesses += 1
         stats = self.stats
         obs = self._obs  # observability is read-only: timings are untouched
@@ -201,10 +231,10 @@ class LogicalChannel:
                 prer_start = max(time, self.row_bus_free, bank.busy_until)
                 self.row_bus_free = prer_start + self._t_packet
                 stats.row_bus_busy += self._t_packet
-                act_start = max(prer_start + self._t_prer, self.row_bus_free)
+                act_start = max(prer_start + t_prer, self.row_bus_free)
             self.row_bus_free = act_start + self._t_packet
             stats.row_bus_busy += self._t_packet
-            row_ready = act_start + self._t_act
+            row_ready = act_start + t_act
             flushed = self.banks.activate(coords.bank, coords.row, obs is not None)
             if obs is not None:
                 obs.instant(
@@ -233,7 +263,7 @@ class LogicalChannel:
             cmd_start = max(row_ready, self.col_bus_free)
             self.col_bus_free = cmd_start + self._t_packet
             stats.col_bus_busy += self._t_packet
-            data_end = max(cmd_start + self._t_rdwr, self.data_bus_free) + self._t_transfer
+            data_end = max(cmd_start + t_rdwr, self.data_bus_free) + self._t_transfer
             self.data_bus_free = data_end
             stats.data_bus_busy += self._t_transfer
             stats.data_packets += 1
@@ -263,7 +293,7 @@ class LogicalChannel:
             self.row_bus_free = prer_start + self._t_packet
             stats.row_bus_busy += self._t_packet
             bank.precharge()
-            bank.busy_until = prer_start + self._t_prer
+            bank.busy_until = prer_start + t_prer
 
         if obs is not None:
             # Queue wait = arrival to the first command of the request's
@@ -278,6 +308,15 @@ class LogicalChannel:
                 service_start = prer_start
             obs.record(f"dram_queue_wait.{cls_name}", service_start - time)
             obs.record(f"dram_service.{cls_name}", completion - service_start)
+
+        if policy is not None:
+            policy.observe(
+                coords.bank,
+                coords.row,
+                outcome,
+                act_start if outcome != AccessOutcome.ROW_HIT else None,
+                completion,
+            )
 
         if san is not None:
             san.dram_access(

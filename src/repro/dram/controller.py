@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.config import CoreConfig, DRAMConfig, PrefetchConfig
 from repro.core.stats import SimStats
+from repro.dram.backends import get_backend
 from repro.dram.channel import LogicalChannel
 from repro.dram.mapping import make_mapping
 from repro.prefetch.engine import RegionPrefetcher
@@ -70,11 +71,16 @@ class MemoryController:
         self.stats = stats
         self._obs = obs
         self._san = san
-        self.mapping = make_mapping(dram)
+        # Address mapping and packet geometry follow the backend's
+        # *effective* organization (the DDR-like backend, e.g., exposes
+        # fewer banks); for the default DRDRAM backend this is ``dram``
+        # itself.
+        effective = get_backend(dram.backend).effective(dram)
+        self.mapping = make_mapping(effective)
         self.channel = LogicalChannel(dram, core, stats, obs=obs, san=san)
         self.block_bytes = block_bytes
-        self._block_packets = dram.transfer_packets(block_bytes)
-        self._packet_time = core.ns_to_cycles(dram.part.t_packet_ns)
+        self._block_packets = effective.transfer_packets(block_bytes)
+        self._packet_time = core.ns_to_cycles(effective.part.t_packet_ns)
         #: minimum idle headroom before a prefetch may issue: exactly one
         #: command-packet time, so a prefetch granted the channel always
         #: finishes its column command before the deadline and a

@@ -1,0 +1,127 @@
+"""Cross-backend comparison: does the integrated hierarchy still win
+when the DRAM itself gets faster?
+
+The paper evaluated scheduled region prefetching against exactly one
+memory technology — Direct Rambus.  This experiment re-runs the
+baseline and the prefetch-enabled system (both with the XOR-mapped
+four-channel organization the paper converges on) across every
+registered DRAM backend and reports, per backend:
+
+* harmonic-mean IPC of the baseline and of the prefetch system,
+* the prefetch speedup (the paper's headline win), and
+* the demand-read row-buffer hit rate, which explains *why* the win
+  moves: TL-DRAM and ChargeCache shrink the row-activation penalty
+  the prefetcher was hiding, the DDR-like baseline widens it.
+
+A genuinely new result beyond the paper: if scheduled prefetching's
+speedup survives on the reduced-latency backends, the mechanism is
+complementary to — not subsumed by — faster DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.presets import prefetch_4ch_64b, xor_4ch_64b
+from repro.dram.backends import backend_names, get_backend
+from repro.experiments.common import (
+    Profile,
+    active_profile,
+    format_table,
+    harmonic_mean,
+    run_points,
+)
+
+__all__ = ["BackendRow", "BackendCompareResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class BackendRow:
+    backend: str
+    description: str
+    base_ipc: float
+    prefetch_ipc: float
+    base_row_hit_rate: float
+    prefetch_row_hit_rate: float
+
+    @property
+    def speedup(self) -> float:
+        return self.prefetch_ipc / self.base_ipc if self.base_ipc else 0.0
+
+
+@dataclass(frozen=True)
+class BackendCompareResult:
+    rows: Tuple[BackendRow, ...]
+    benchmarks: Tuple[str, ...]
+
+
+def run(
+    profile: Optional[Profile] = None,
+    backends: Optional[Tuple[str, ...]] = None,
+) -> BackendCompareResult:
+    profile = profile or active_profile()
+    names = backends if backends is not None else backend_names()
+    # One batch over the full (backend × {base, prefetch} × benchmark)
+    # cross product: shared traces collapse in the runner and the
+    # backend-distinct config digests keep cache entries separate.
+    base = xor_4ch_64b()
+    prefetch = prefetch_4ch_64b()
+    points = [
+        (bench, config.with_backend(backend))
+        for backend in names
+        for config in (base, prefetch)
+        for bench in profile.benchmarks
+    ]
+    results = iter(run_points(points, profile))
+    rows = []
+    for backend in names:
+        per_config = []
+        for _config in (base, prefetch):
+            ipcs, hits, accesses = [], 0, 0
+            for _bench in profile.benchmarks:
+                stats = next(results)
+                ipcs.append(stats.ipc)
+                hits += stats.dram_reads.row_hits
+                accesses += stats.dram_reads.accesses
+            per_config.append(
+                (harmonic_mean(ipcs), hits / accesses if accesses else 0.0)
+            )
+        (base_ipc, base_hit), (pref_ipc, pref_hit) = per_config
+        rows.append(
+            BackendRow(
+                backend=backend,
+                description=get_backend(backend).description,
+                base_ipc=base_ipc,
+                prefetch_ipc=pref_ipc,
+                base_row_hit_rate=base_hit,
+                prefetch_row_hit_rate=pref_hit,
+            )
+        )
+    return BackendCompareResult(rows=tuple(rows), benchmarks=profile.benchmarks)
+
+
+def render(result: BackendCompareResult) -> str:
+    table = format_table(
+        ["backend", "hm IPC base", "hm IPC prefetch", "speedup", "read row-hit base"],
+        [
+            (
+                r.backend,
+                f"{r.base_ipc:.3f}",
+                f"{r.prefetch_ipc:.3f}",
+                f"{r.speedup:.3f}",
+                f"{r.base_row_hit_rate:.3f}",
+            )
+            for r in result.rows
+        ],
+        title="Cross-backend — scheduled region prefetching vs the memory system "
+        f"({len(result.benchmarks)} benchmarks, XOR-mapped 4 channels)",
+    )
+    legend = "\n".join(
+        f"  {r.backend:<12} {r.description}" for r in result.rows
+    )
+    return table + "\n\nbackends:\n" + legend
+
+
+if __name__ == "__main__":
+    print(render(run()))

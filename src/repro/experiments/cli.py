@@ -60,6 +60,7 @@ EXPERIMENTS = {
     "cache-size": "repro.experiments.cache_size",
     "latency-sensitivity": "repro.experiments.latency_sensitivity",
     "software-prefetch": "repro.experiments.software_prefetch",
+    "backend-compare": "repro.experiments.backends",
 }
 
 
@@ -145,6 +146,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
         choices=sorted(EXPERIMENTS) + ["all"],
         help="which paper result to regenerate",
     )
@@ -220,6 +222,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "observed or sanitized points always run the reference kernel",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="run every simulated point on this DRAM backend "
+        "(see --list-backends): sets REPRO_BACKEND for this process "
+        "and its pool workers, so each experiment's configurations are "
+        "built against that memory system.  Default: REPRO_BACKEND "
+        "env var, else 'drdram' (the paper's Direct Rambus model)",
+    )
+    parser.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="list registered DRAM backends and exit",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="FILE",
@@ -260,6 +277,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         "print the hottest functions",
     )
     args = parser.parse_args(argv)
+    if args.list_backends:
+        from repro.dram.backends import backend_names, default_backend_name, get_backend
+
+        default = default_backend_name()
+        for name in backend_names():
+            marker = "*" if name == default else " "
+            print(f"{marker} {name:<12} {get_backend(name).description}")
+        return 0
+    if args.experiment is None:
+        parser.error("the experiment argument is required (or use --list-backends)")
+    if args.backend is not None:
+        from repro.dram.backends import backend_names, has_backend
+
+        if not has_backend(args.backend):
+            parser.error(
+                f"--backend: unknown DRAM backend {args.backend!r} "
+                f"(registered: {', '.join(backend_names())})"
+            )
+        # Environment, not a parameter, for the same reason as --fast:
+        # pool workers inherit it, and every SystemConfig constructed
+        # anywhere in the experiment picks it up as the default.
+        os.environ["REPRO_BACKEND"] = args.backend
     if args.jobs is not None and args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.job_timeout is not None and args.job_timeout <= 0:

@@ -95,7 +95,13 @@ def kernel_supports(config: SystemConfig) -> bool:
     sizes to divide the L2 block size.  ``SystemConfig`` enforces this
     for the L1D only; unusual L1I geometries fall back to the reference
     kernel.
+
+    The kernel also hardwires the default DRDRAM timing walk; any other
+    registered backend (TL-DRAM, ChargeCache, DDR-like) falls back to
+    the reference simulator, which routes through the backend registry.
     """
+    if config.dram.backend != "drdram":
+        return False
     l2_block = config.l2.block_bytes
     for l1 in (config.l1i, config.l1d):
         if l1.block_bytes > l2_block or l2_block % l1.block_bytes:

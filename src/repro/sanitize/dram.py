@@ -1,10 +1,10 @@
-"""DRDRAM protocol-legality and access-prioritizer checkers.
+"""Per-backend DRAM protocol-legality and access-prioritizer checkers.
 
 :class:`ChannelChecker` shadows one :class:`LogicalChannel` with its own
 copies of the three bus "next free" timestamps and the per-bank row
 state, updated from the *reported* command times of each access.  Every
-access is then validated against the DRDRAM command sequence of
-Section 2.2:
+access is then validated against the backend's command sequence —
+DRDRAM's Section 2.2 walk by default:
 
 * classification — the reported hit/empty/miss outcome must match the
   shadow row state (catches a bank that forgot to latch or flush);
@@ -24,6 +24,14 @@ operations the channel itself performs, so a correct channel satisfies
 every inequality with equality-level precision and no epsilon is
 needed.
 
+Backends with dynamic per-access timings (TL-DRAM's near/far segments,
+ChargeCache's highly-charged grants) hand the checker its own *fresh*
+:class:`~repro.dram.backends.RowTimingPolicy` instance.  The shadow
+replays the reported (bank, row, outcome) stream through it, so both
+instances resolve identical grants; a channel that mis-applies a
+reduced timing — or a policy whose decisions aren't a pure function of
+the access stream — trips the same inequality checks.
+
 :class:`PrioritizerChecker` enforces the paper's core scheduling claim
 (Section 4.1): from the moment a demand miss or writeback arrives at
 the controller until the channel grants it, no prefetch may be granted
@@ -38,6 +46,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dram.backends import RowTimingPolicy
     from repro.dram.channel import LogicalChannel
 
 __all__ = ["ChannelChecker", "PrioritizerChecker"]
@@ -58,6 +67,7 @@ class ChannelChecker:
         "t_rdwr",
         "t_transfer",
         "t_packet",
+        "policy",
         "closed_page",
         "open_rows",
         "busy_until",
@@ -73,6 +83,7 @@ class ChannelChecker:
         timings: dict,
         closed_page: bool,
         violation: Violation,
+        policy: "Optional[RowTimingPolicy]" = None,
     ) -> None:
         self.channel = channel
         self._violation = violation
@@ -81,6 +92,10 @@ class ChannelChecker:
         self.t_rdwr = timings["t_rdwr"]
         self.t_transfer = timings["t_transfer"]
         self.t_packet = timings["t_packet"]
+        #: independent shadow instance of the backend's row-timing
+        #: policy (never the channel's own — lockstep replay is the
+        #: point), or None for uniform-timing backends.
+        self.policy = policy
         self.closed_page = closed_page
         nbanks = len(channel.banks)
         self.open_rows: List[Optional[int]] = [None] * nbanks
@@ -103,6 +118,15 @@ class ChannelChecker:
     ) -> None:
         """Validate one scheduled request against the shadow model."""
         self.checks += 1
+        # Resolve this access's protocol timings through the shadow
+        # policy (fed the same stream the channel's instance saw) — or
+        # the uniform table for static backends.
+        if self.policy is None:
+            t_prer = self.t_prer
+            t_act = self.t_act
+            t_rdwr = self.t_rdwr
+        else:
+            t_prer, t_act, t_rdwr = self.policy.resolve(bank, row, time, outcome)
         shadow_open = self.open_rows[bank]
         expected = (
             "hit" if shadow_open == row else "empty" if shadow_open is None else "miss"
@@ -142,7 +166,7 @@ class ChannelChecker:
                         },
                     )
                 self.row_free = prer_start + self.t_packet
-                earliest_act = max(prer_start + self.t_prer, self.row_free)
+                earliest_act = max(prer_start + t_prer, self.row_free)
             else:
                 earliest_act = max(time, self.row_free, self.busy_until[bank])
             if act_start is None or act_start < earliest_act:
@@ -158,7 +182,7 @@ class ChannelChecker:
                     },
                 )
             self.row_free = act_start + self.t_packet
-            row_ready = act_start + self.t_act
+            row_ready = act_start + t_act
             # Shadow activate: latch the row and flush the shared-sense-amp
             # neighbours per the Figure 2 rule...
             banks = self.channel.banks
@@ -222,7 +246,7 @@ class ChannelChecker:
             # the burst end so a correct schedule compares equal:
             # data follows its command by t_rdwr, and bursts queue on the
             # data bus without overlapping.
-            if data_end < cmd_start + self.t_rdwr + self.t_transfer:
+            if data_end < cmd_start + t_rdwr + self.t_transfer:
                 self._violation(
                     "data burst earlier than t_rdwr after its RD/WR",
                     cycle=cmd_start,
@@ -256,7 +280,7 @@ class ChannelChecker:
             prer = max(completion, self.row_free)
             self.row_free = prer + self.t_packet
             self.open_rows[bank] = None
-            self.busy_until[bank] = prer + self.t_prer
+            self.busy_until[bank] = prer + t_prer
             if self.channel.banks.open_row(bank) is not None:
                 self._violation(
                     "closed-page policy left the row latched",
@@ -265,6 +289,17 @@ class ChannelChecker:
                     event="auto-precharge",
                     details={"bank": bank},
                 )
+
+        if self.policy is not None:
+            # Mirror the channel's policy update exactly so the next
+            # access resolves from identical state.
+            self.policy.observe(
+                bank,
+                row,
+                outcome,
+                act_start if outcome != "hit" else None,
+                completion,
+            )
 
     def quiesce(self, cycle: float) -> None:
         """End of run: shadow and real bank state must agree exactly, and

@@ -33,6 +33,7 @@ from repro.sanitize.errors import SanitizerError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cache.cache import CacheLine, SetAssociativeCache
+    from repro.dram.backends import RowTimingPolicy
     from repro.dram.channel import LogicalChannel
 
 __all__ = ["Sanitizer"]
@@ -85,10 +86,14 @@ class Sanitizer:
         self.caches[level] = CacheChecker(level, cache, self._violation)
 
     def register_channel(
-        self, channel: "LogicalChannel", timings: dict, closed_page: bool
+        self,
+        channel: "LogicalChannel",
+        timings: dict,
+        closed_page: bool,
+        policy: "Optional[RowTimingPolicy]" = None,
     ) -> None:
         self.channels[id(channel)] = ChannelChecker(
-            channel, timings, closed_page, self._violation
+            channel, timings, closed_page, self._violation, policy=policy
         )
 
     # -- cache hooks -----------------------------------------------------------

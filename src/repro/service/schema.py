@@ -29,6 +29,7 @@ from repro.core.config import (
     DRAM_PARTS,
     SystemConfig,
 )
+from repro.dram.backends import backend_names, has_backend
 from repro.runner import SimPoint
 from repro.workloads import BENCHMARKS
 
@@ -166,6 +167,20 @@ def build_config(
                     )
                     continue
                 fvalue = DRAM_PARTS[fvalue]
+            elif key == "dram" and fname == "backend":
+                # Checked here, not in DRAMConfig's own validation, so
+                # the client gets a field-addressed 400 enumerating the
+                # registered backends instead of a deep ConfigError.
+                if not isinstance(fvalue, str) or not has_backend(fvalue):
+                    known = backend_names()
+                    shown = fvalue if isinstance(fvalue, str) else repr(fvalue)
+                    errors.add(
+                        path,
+                        f"unknown DRAM backend {shown!r}"
+                        f"{_suggest(str(fvalue), known)}; "
+                        f"expected one of {', '.join(known)}",
+                    )
+                    continue
             elif isinstance(fvalue, bool):
                 pass  # bool is fine wherever the dataclass default is bool
             elif not isinstance(fvalue, (int, float, str)):
@@ -419,6 +434,7 @@ def contract_description(
         },
         "benchmarks": list(BENCHMARKS),
         "dram_parts": sorted(DRAM_PARTS),
+        "dram_backends": list(backend_names()),
         "max_points_per_sweep": MAX_POINTS_PER_SWEEP,
     }
     if limits is not None:

@@ -177,7 +177,7 @@ class TestCLI:
         expected = {
             "figure1", "table1", "table2", "mapping", "table3", "table4",
             "figure5", "region-size", "utilization", "cache-size",
-            "latency-sensitivity", "software-prefetch",
+            "latency-sensitivity", "software-prefetch", "backend-compare",
         }
         assert set(cli.EXPERIMENTS) == expected
 
